@@ -1,0 +1,452 @@
+package blast_test
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablation benches for the design choices called out in DESIGN.md.
+// Quality metrics are attached via b.ReportMetric so the -bench output
+// carries the reproduced numbers next to the timings:
+//
+//	go test -bench=. -benchmem
+//
+// Scales are chosen so the full bench suite completes in minutes; use
+// cmd/blastbench to run any experiment at larger scales.
+
+import (
+	"fmt"
+	"testing"
+
+	"blast"
+	"blast/internal/attr"
+	"blast/internal/blocking"
+	"blast/internal/datasets"
+	"blast/internal/experiments"
+	"blast/internal/graph"
+	"blast/internal/lsh"
+	"blast/internal/metablocking"
+	"blast/internal/metrics"
+	"blast/internal/text"
+	"blast/internal/weights"
+)
+
+// benchCfg is the shared experiment configuration of the bench suite.
+func benchCfg() experiments.Config { return experiments.Config{Scale: 0.5, Seed: 42} }
+
+func BenchmarkTable2_DatasetGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkTable3_Blocking(b *testing.B) {
+	var rows []experiments.Table3Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Table3(benchCfg(), []string{"ar1", "prd"})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Dataset == "ar1" && r.Variant == "L" {
+			b.ReportMetric(r.FiltPC*100, "PC%")
+			b.ReportMetric(r.FiltPQ*100, "PQ%")
+		}
+	}
+}
+
+// benchTable4 runs the comparison table for one dataset and reports
+// BLAST's quality metrics.
+func benchTable4(b *testing.B, dataset string) {
+	b.Helper()
+	var rows []experiments.CompareRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Table4(benchCfg(), dataset)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Method == "Blast" {
+			b.ReportMetric(r.PC*100, "PC%")
+			b.ReportMetric(r.PQ*100, "PQ%")
+			b.ReportMetric(r.F1, "F1")
+		}
+	}
+}
+
+func BenchmarkTable4_AR1(b *testing.B) { benchTable4(b, "ar1") }
+func BenchmarkTable4_AR2(b *testing.B) { benchTable4(b, "ar2") }
+func BenchmarkTable4_PRD(b *testing.B) { benchTable4(b, "prd") }
+func BenchmarkTable4_MOV(b *testing.B) { benchTable4(b, "mov") }
+
+func BenchmarkTable5_DBP(b *testing.B) {
+	cfg := experiments.Config{Scale: 0.25, Seed: 42} // dbp is the heavy benchmark
+	var rows []experiments.CompareRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Table5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Method == "Blast*" {
+			b.ReportMetric(r.PC*100, "PC%")
+			b.ReportMetric(r.PQ*100, "PQ%")
+		}
+	}
+}
+
+func BenchmarkTable6_LSHLMI(b *testing.B) {
+	cfg := experiments.Config{Scale: 0.5, Seed: 42}
+	var rows []experiments.Table6Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Table6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Speedup of the mid-sweep LSH configuration over exhaustive LMI.
+	if len(rows) > 3 && rows[3].Duration > 0 {
+		b.ReportMetric(float64(rows[0].Duration)/float64(rows[3].Duration), "speedup")
+	}
+}
+
+func benchTable7(b *testing.B, dataset string) {
+	b.Helper()
+	var rows []experiments.CompareRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Table7(benchCfg(), dataset)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Method == "Blast" {
+			b.ReportMetric(r.PC*100, "PC%")
+			b.ReportMetric(r.PQ*100, "PQ%")
+		}
+	}
+}
+
+func BenchmarkTable7_Census(b *testing.B) { benchTable7(b, "census") }
+func BenchmarkTable7_Cora(b *testing.B)   { benchTable7(b, "cora") }
+func BenchmarkTable7_CDDB(b *testing.B)   { benchTable7(b, "cddb") }
+
+func BenchmarkFigure5_SCurve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curve, th := experiments.Figure5()
+		if len(curve) == 0 || th <= 0 {
+			b.Fatal("bad curve")
+		}
+	}
+}
+
+func BenchmarkFigure8_Ablation(b *testing.B) {
+	var rows []experiments.Figure8Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Figure8(benchCfg(), []string{"ar1"})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Variant == "bch" {
+			b.ReportMetric(r.PQ*100, "bchPQ%")
+		}
+		if r.Variant == "chi" {
+			b.ReportMetric(r.PQ*100, "chiPQ%")
+		}
+	}
+}
+
+func BenchmarkFigure9_LMIvsAC(b *testing.B) {
+	var rows []experiments.Figure9Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Figure9(benchCfg(), []string{"ar1", "prd"})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(rows) > 0 {
+		b.ReportMetric(rows[0].DeltaPQ*100, "dPQ%")
+	}
+}
+
+func BenchmarkFigure10_LSHSweep(b *testing.B) {
+	cfg := experiments.Config{Scale: 0.25, Seed: 42}
+	var rows []experiments.Figure10Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Figure10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(rows) > 0 {
+		b.ReportMetric(rows[0].PC*100, "lowThPC%")
+		b.ReportMetric(rows[len(rows)-1].PC*100, "highThPC%")
+	}
+}
+
+func BenchmarkEndToEnd_Savings(b *testing.B) {
+	var res *experiments.EndToEndResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.EndToEnd(benchCfg(), "ar1", 0.3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if res.BlastComparisons > 0 {
+		b.ReportMetric(float64(res.OriginalComparisons)/float64(res.BlastComparisons), "reduction")
+	}
+}
+
+// --- Component microbenches -------------------------------------------
+
+func BenchmarkComponent_TokenBlocking(b *testing.B) {
+	ds := datasets.AR1(0.2, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := blocking.TokenBlocking(ds)
+		if c.Len() == 0 {
+			b.Fatal("no blocks")
+		}
+	}
+}
+
+func BenchmarkComponent_LMI(b *testing.B) {
+	ds := datasets.DBP(0.05, 42)
+	profiles := attr.ExtractProfiles(ds, text.NewTokenizer())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		part := attr.LMI(profiles, ds.Kind, attr.DefaultConfig())
+		if part.NumClusters() == 0 {
+			b.Fatal("no clusters")
+		}
+	}
+}
+
+func BenchmarkComponent_LMIWithLSH(b *testing.B) {
+	ds := datasets.DBP(0.05, 42)
+	profiles := attr.ExtractProfiles(ds, text.NewTokenizer())
+	cfg := attr.DefaultConfig()
+	cfg.LSH = &attr.LSHConfig{Rows: 5, Bands: 30, Seed: 42}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		part := attr.LMI(profiles, ds.Kind, cfg)
+		if part.NumClusters() == 0 {
+			b.Fatal("no clusters")
+		}
+	}
+}
+
+func BenchmarkComponent_GraphBuild(b *testing.B) {
+	ds := datasets.AR1(0.2, 42)
+	blocks := blocking.CleanWorkflow(blocking.TokenBlocking(ds), 0.5, 0.8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := graph.Build(blocks)
+		if g.NumEdges() == 0 {
+			b.Fatal("no edges")
+		}
+	}
+}
+
+func BenchmarkComponent_ChiSquaredWeighting(b *testing.B) {
+	ds := datasets.AR1(0.2, 42)
+	g := graph.Build(blocking.CleanWorkflow(blocking.TokenBlocking(ds), 0.5, 0.8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		weights.Blast().Apply(g)
+	}
+}
+
+func BenchmarkComponent_MinHashSign(b *testing.B) {
+	signer := lsh.NewSigner(150, 42)
+	tokens := make([]uint64, 200)
+	for i := range tokens {
+		tokens[i] = uint64(i)*0x9e3779b97f4a7c15 + 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sig := signer.SignHashes(tokens)
+		if len(sig) != 150 {
+			b.Fatal("bad signature")
+		}
+	}
+}
+
+// --- Ablation benches ---------------------------------------------------
+
+// BenchmarkAblation_ThresholdC sweeps BLAST's local threshold divisor c
+// (Section 3.3.2: higher c -> higher PC, lower PQ).
+func BenchmarkAblation_ThresholdC(b *testing.B) {
+	ds := datasets.AR1(0.2, 42)
+	for _, c := range []float64{1, 2, 4} {
+		b.Run(fmt.Sprintf("c=%g", c), func(b *testing.B) {
+			var q metrics.Quality
+			for i := 0; i < b.N; i++ {
+				opt := blast.DefaultOptions()
+				opt.C = c
+				res, err := blast.Run(ds, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				q = res.Quality
+			}
+			b.ReportMetric(q.PC*100, "PC%")
+			b.ReportMetric(q.PQ*100, "PQ%")
+		})
+	}
+}
+
+// BenchmarkAblation_GlueCluster measures the effect of the glue cluster
+// (Section 4.4): disabling it drops unclustered attributes entirely.
+func BenchmarkAblation_GlueCluster(b *testing.B) {
+	ds := datasets.MOV(0.01, 42)
+	for _, glue := range []bool{true, false} {
+		b.Run(fmt.Sprintf("glue=%v", glue), func(b *testing.B) {
+			var q metrics.Quality
+			for i := 0; i < b.N; i++ {
+				opt := blast.DefaultOptions()
+				opt.Glue = glue
+				res, err := blast.Run(ds, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				q = res.Quality
+			}
+			b.ReportMetric(q.PC*100, "PC%")
+		})
+	}
+}
+
+// BenchmarkAblation_FilterRatio sweeps the Block Filtering ratio (the
+// paper fixes 0.8 as the PC-preserving tradeoff).
+func BenchmarkAblation_FilterRatio(b *testing.B) {
+	ds := datasets.AR1(0.2, 42)
+	for _, ratio := range []float64{0.5, 0.8, 1.0} {
+		b.Run(fmt.Sprintf("r=%g", ratio), func(b *testing.B) {
+			var q metrics.Quality
+			for i := 0; i < b.N; i++ {
+				opt := blast.DefaultOptions()
+				opt.FilterRatio = ratio
+				res, err := blast.Run(ds, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				q = res.Quality
+			}
+			b.ReportMetric(q.PC*100, "PC%")
+			b.ReportMetric(q.PQ*100, "PQ%")
+		})
+	}
+}
+
+// BenchmarkAblation_WeightingScheme compares the weighting families under
+// BLAST pruning (the Figure 8 wsh/chi/bch argument as a bench).
+func BenchmarkAblation_WeightingScheme(b *testing.B) {
+	ds := datasets.AR1(0.2, 42)
+	opt := blast.DefaultOptions()
+	res, err := blast.Run(ds, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blocks := res.Blocks
+	for _, s := range []weights.Scheme{
+		{Kind: weights.JS}, {Kind: weights.CBS},
+		{Kind: weights.ChiSquared}, {Kind: weights.ChiSquared, Entropy: true},
+	} {
+		b.Run(s.Name(), func(b *testing.B) {
+			var q metrics.Quality
+			for i := 0; i < b.N; i++ {
+				mb := metablocking.Run(blocks, metablocking.Config{
+					Scheme: s, Pruning: metablocking.BlastWNP, C: 2, D: 2,
+				})
+				q = metrics.EvaluatePairs(mb.Pairs, ds.Truth)
+			}
+			b.ReportMetric(q.PQ*100, "PQ%")
+		})
+	}
+}
+
+func BenchmarkComponent_GraphBuildParallel(b *testing.B) {
+	ds := datasets.AR1(0.4, 42)
+	blocks := blocking.CleanWorkflow(blocking.TokenBlocking(ds), 0.5, 0.8)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g := graph.BuildParallel(blocks, workers)
+				if g.NumEdges() == 0 {
+					b.Fatal("no edges")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExtension_Baselines compares the blocking substrates feeding
+// BLAST meta-blocking (the composability extension).
+func BenchmarkExtension_Baselines(b *testing.B) {
+	var rows []experiments.BaselineRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Baselines(experiments.Config{Scale: 0.3, Seed: 42}, "ar1")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Blocking == "token+lmi" {
+			b.ReportMetric(r.F1, "lmiF1")
+		}
+	}
+}
+
+// BenchmarkExtension_Scalability measures phase overhead growth with
+// dataset scale.
+func BenchmarkExtension_Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Scalability(experiments.Config{Scale: 0.2, Seed: 42}, "ar1", []float64{1, 2}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 2 {
+			b.Fatal("bad series")
+		}
+	}
+}
+
+// BenchmarkAblation_TFIDFRepresentation compares binary/Jaccard vs
+// TF-IDF/cosine attribute-match induction end to end.
+func BenchmarkAblation_TFIDFRepresentation(b *testing.B) {
+	ds := datasets.AR1(0.2, 42)
+	for _, tfidf := range []bool{false, true} {
+		b.Run(fmt.Sprintf("tfidf=%v", tfidf), func(b *testing.B) {
+			var q metrics.Quality
+			for i := 0; i < b.N; i++ {
+				opt := blast.DefaultOptions()
+				opt.TFIDF = tfidf
+				res, err := blast.Run(ds, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				q = res.Quality
+			}
+			b.ReportMetric(q.PC*100, "PC%")
+			b.ReportMetric(q.PQ*100, "PQ%")
+		})
+	}
+}

@@ -1,0 +1,325 @@
+// Package blast implements BLAST (Blocking with Loosely-Aware Schema
+// Techniques), the holistic loosely schema-aware (meta-)blocking approach
+// for Entity Resolution of Simonini, Bergamaschi and Jagadish (PVLDB
+// 9(12), 2016).
+//
+// Given one (dirty ER) or two (clean-clean ER) entity collections, BLAST
+// produces a compact list of candidate comparisons in three phases
+// (Figure 4 of the paper):
+//
+//  1. Loose schema information extraction — attribute-match induction
+//     (LMI, optionally accelerated with MinHash/LSH banding) partitions
+//     attributes by value similarity, and each cluster is scored with the
+//     aggregate Shannon entropy of its attributes.
+//  2. Loosely schema-aware blocking — Token Blocking with keys
+//     disambiguated by attribute cluster, followed by Block Purging and
+//     Block Filtering.
+//  3. Loosely schema-aware meta-blocking — the blocking graph is weighted
+//     with Pearson's chi-squared statistic scaled by the aggregate
+//     entropy of the shared keys, then pruned node-centrically with
+//     theta_i = M_i/c and the unique edge threshold (theta_u+theta_v)/d.
+//
+// The package is the stable API surface of this repository; the
+// algorithmic building blocks live in internal/ packages (blocking,
+// attr, graph, weights, prune, metablocking, ...) and are composed here.
+package blast
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"blast/internal/attr"
+	"blast/internal/blocking"
+	"blast/internal/graph"
+	"blast/internal/metablocking"
+	"blast/internal/metrics"
+	"blast/internal/model"
+	"blast/internal/supervised"
+	"blast/internal/text"
+	"blast/internal/weights"
+)
+
+// Induction selects the attribute-match induction algorithm of Phase 1.
+type Induction int
+
+const (
+	// LMI is Loose attribute-Match Induction (paper Algorithm 1),
+	// BLAST's default.
+	LMI Induction = iota
+	// AC is the Attribute Clustering baseline (Papadakis et al.,
+	// TKDE'13), compared in Figure 9.
+	AC
+	// NoInduction disables Phase 1: schema-agnostic Token Blocking with
+	// unit entropies (the "T" rows of Tables 4-5).
+	NoInduction
+)
+
+// String implements fmt.Stringer.
+func (i Induction) String() string {
+	switch i {
+	case LMI:
+		return "lmi"
+	case AC:
+		return "ac"
+	case NoInduction:
+		return "none"
+	default:
+		return fmt.Sprintf("Induction(%d)", int(i))
+	}
+}
+
+// LSHOptions configures the optional MinHash/banding acceleration of
+// attribute-match induction (Section 3.1.2). Rows*Bands hash functions
+// are used; the implied Jaccard threshold is (1/Bands)^(1/Rows).
+type LSHOptions struct {
+	Rows  int
+	Bands int
+	Seed  uint64
+}
+
+// Options configures the full pipeline. The zero value is NOT valid; use
+// DefaultOptions as the base.
+type Options struct {
+	// Transform is the value transformation function tau (default:
+	// lowercase alphanumeric tokenizer).
+	Transform text.Transform
+
+	// Induction selects LMI, AC or no attribute-match induction.
+	Induction Induction
+	// TFIDF switches attribute comparison from binary/Jaccard to
+	// TF-IDF/cosine (Section 2.1's alternative representation).
+	TFIDF bool
+	// Alpha is the LMI candidate factor (default 0.9).
+	Alpha float64
+	// Glue keeps unclustered attributes in a glue cluster (default true).
+	Glue bool
+	// LSH, when non-nil, enables the LSH pre-processing step.
+	LSH *LSHOptions
+
+	// PurgeRatio drops blocks containing more than this fraction of all
+	// profiles (default 0.5; Block Purging).
+	PurgeRatio float64
+	// FilterRatio keeps this fraction of each profile's most important
+	// blocks (default 0.8; Block Filtering).
+	FilterRatio float64
+
+	// Scheme is the edge weighting of the meta-blocking phase (default
+	// chi2 * h, the BLAST weighting).
+	Scheme weights.Scheme
+	// Pruning is the pruning algorithm (default BlastWNP).
+	Pruning metablocking.Pruning
+	// C is the local threshold divisor theta_i = M_i/C (default 2;
+	// higher C retains more comparisons — higher PC, lower PQ).
+	C float64
+	// D combines the two local thresholds: retain iff
+	// w >= (theta_u+theta_v)/D (default 2).
+	D float64
+	// K overrides the cardinality of CEP/CNP pruning (<= 0: defaults).
+	K int
+
+	// Supervised switches Phase 3 to supervised meta-blocking (SVM over
+	// edge features, trained on TrainFraction of the ground truth). Used
+	// only for the paper's comparison rows.
+	Supervised bool
+	// TrainFraction is the fraction of matches used to train the
+	// supervised baseline (default 0.1).
+	TrainFraction float64
+	// Seed drives the deterministic randomness (LSH, SVM sampling).
+	Seed uint64
+	// Workers parallelizes blocking-graph construction (0/1 = serial;
+	// results are identical either way). Worth raising once the block
+	// collection entails tens of millions of comparisons.
+	Workers int
+}
+
+// DefaultOptions returns the paper's configuration of BLAST.
+func DefaultOptions() Options {
+	return Options{
+		Transform:     text.NewTokenizer(),
+		Induction:     LMI,
+		Alpha:         0.9,
+		Glue:          true,
+		PurgeRatio:    0.5,
+		FilterRatio:   0.8,
+		Scheme:        weights.Blast(),
+		Pruning:       metablocking.BlastWNP,
+		C:             2,
+		D:             2,
+		TrainFraction: 0.1,
+		Seed:          1,
+	}
+}
+
+// Result is the outcome of a pipeline run.
+type Result struct {
+	// Pairs is the restructured block collection: one comparison per
+	// retained edge, in canonical order.
+	Pairs []model.IDPair
+	// Partitioning is the loose schema information of Phase 1 (nil when
+	// induction is disabled).
+	Partitioning *attr.Partitioning
+	// Blocks is the cleaned block collection Phase 3 consumed.
+	Blocks *blocking.Collection
+	// Quality measures Pairs against the dataset's ground truth (zero
+	// when the dataset has no truth).
+	Quality metrics.Quality
+	// BlockQuality measures Blocks before meta-blocking (the Table 3
+	// baseline view).
+	BlockQuality metrics.Quality
+
+	// InductionTime, BlockTime and MetaTime decompose the overhead.
+	InductionTime time.Duration
+	BlockTime     time.Duration
+	MetaTime      time.Duration
+}
+
+// Overhead is the total pipeline overhead t_o.
+func (r *Result) Overhead() time.Duration {
+	return r.InductionTime + r.BlockTime + r.MetaTime
+}
+
+// RestructuredBlocks materializes the meta-blocking output in block form:
+// each retained comparison becomes a block of two profiles (the paper's
+// "each pair of nodes connected by an edge forms a new block"). Useful
+// for feeding downstream tools that consume block collections.
+func (r *Result) RestructuredBlocks() *blocking.Collection {
+	out := &blocking.Collection{
+		Kind:        r.Blocks.Kind,
+		NumProfiles: r.Blocks.NumProfiles,
+		Split:       r.Blocks.Split,
+	}
+	out.Blocks = make([]blocking.Block, 0, len(r.Pairs))
+	for i, p := range r.Pairs {
+		b := blocking.Block{Key: fmt.Sprintf("mb-%08d", i), Entropy: 1}
+		if out.Kind == model.CleanClean {
+			b.P1 = []int32{p.U}
+			b.P2 = []int32{p.V}
+		} else {
+			b.P1 = []int32{p.U, p.V}
+		}
+		out.Blocks = append(out.Blocks, b)
+	}
+	return out
+}
+
+// LooseSchemaReport renders the discovered attribute partitioning as a
+// human-readable listing (one cluster per line with its aggregate
+// entropy), or a note when induction was disabled.
+func (r *Result) LooseSchemaReport() string {
+	if r.Partitioning == nil {
+		return "no attribute-match induction (schema-agnostic run)\n"
+	}
+	var b strings.Builder
+	for _, c := range r.Partitioning.Clusters {
+		if len(c.Members) == 0 {
+			continue
+		}
+		label := fmt.Sprintf("cluster %d", c.ID)
+		if c.ID == attr.GlueClusterID {
+			label = "glue"
+		}
+		fmt.Fprintf(&b, "%-10s H=%.3f ", label, c.Entropy)
+		for i, m := range c.Members {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "E%d/%s", m.Source+1, m.Name)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Run executes the BLAST pipeline on a dataset.
+func Run(ds *model.Dataset, opt Options) (*Result, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Transform == nil {
+		opt.Transform = text.NewTokenizer()
+	}
+	res := &Result{}
+
+	// Phase 1: loose schema information extraction.
+	t0 := time.Now()
+	keyFunc := blocking.TokenKey
+	switch opt.Induction {
+	case NoInduction:
+		// keep TokenKey
+	case LMI, AC:
+		profiles := attr.ExtractProfiles(ds, opt.Transform)
+		cfg := attr.Config{Alpha: opt.Alpha, Glue: opt.Glue}
+		if opt.TFIDF {
+			cfg.Representation = attr.TFIDF
+		}
+		if opt.LSH != nil {
+			cfg.LSH = &attr.LSHConfig{Rows: opt.LSH.Rows, Bands: opt.LSH.Bands, Seed: opt.LSH.Seed ^ opt.Seed}
+		}
+		if opt.Induction == LMI {
+			res.Partitioning = attr.LMI(profiles, ds.Kind, cfg)
+		} else {
+			res.Partitioning = attr.AC(profiles, ds.Kind, cfg)
+		}
+		keyFunc = res.Partitioning.KeyFunc()
+	default:
+		return nil, fmt.Errorf("blast: unknown induction %d", int(opt.Induction))
+	}
+	res.InductionTime = time.Since(t0)
+
+	// Phase 2: (loosely schema-aware) blocking + purging + filtering.
+	t1 := time.Now()
+	blocks := blocking.Build(ds, opt.Transform, keyFunc)
+	blocks = blocking.CleanWorkflow(blocks, opt.PurgeRatio, opt.FilterRatio)
+	res.Blocks = blocks
+	res.BlockTime = time.Since(t1)
+
+	// Phase 3: meta-blocking.
+	t2 := time.Now()
+	if opt.Supervised {
+		g := graph.Build(blocks)
+		sup := supervised.Run(g, ds.Truth, supervised.Config{
+			TrainFraction: opt.TrainFraction,
+			NegativeRatio: 1,
+			Seed:          opt.Seed,
+		})
+		res.Pairs = sup.Pairs
+	} else {
+		mb := metablocking.Run(blocks, metablocking.Config{
+			Scheme:  opt.Scheme,
+			Pruning: opt.Pruning,
+			C:       opt.C,
+			D:       opt.D,
+			K:       opt.K,
+			Workers: opt.Workers,
+		})
+		res.Pairs = mb.Pairs
+	}
+	res.MetaTime = time.Since(t2)
+
+	if ds.Truth != nil && ds.Truth.Size() > 0 {
+		res.Quality = metrics.EvaluatePairs(res.Pairs, ds.Truth)
+		res.BlockQuality = metrics.EvaluateBlocks(blocks, ds.Truth)
+	}
+	return res, nil
+}
+
+// CleanClean is a convenience wrapper building the dataset from two
+// collections and running the default pipeline. truth may be nil (no
+// quality is computed then).
+func CleanClean(e1, e2 *model.Collection, truth *model.GroundTruth, opt Options) (*Result, error) {
+	if truth == nil {
+		truth = model.NewGroundTruth()
+	}
+	ds := &model.Dataset{Name: "clean-clean", Kind: model.CleanClean, E1: e1, E2: e2, Truth: truth}
+	return Run(ds, opt)
+}
+
+// Dirty is the single-collection counterpart of CleanClean.
+func Dirty(e *model.Collection, truth *model.GroundTruth, opt Options) (*Result, error) {
+	if truth == nil {
+		truth = model.NewGroundTruth()
+	}
+	ds := &model.Dataset{Name: "dirty", Kind: model.Dirty, E1: e, Truth: truth}
+	return Run(ds, opt)
+}

@@ -1,0 +1,170 @@
+// Command blastbench regenerates the tables and figures of the BLAST
+// paper's evaluation on the synthetic benchmark workloads.
+//
+// Usage:
+//
+//	blastbench -exp table4 -dataset ar1 -scale 1 -seed 42
+//	blastbench -exp all
+//
+// Experiments: table2 table3 table4 table5 table6 table7 fig5 fig8 fig9
+// fig10 endtoend scalability baselines standard all. -scale multiplies
+// the per-dataset default sizes (see internal/experiments); absolute
+// metrics depend on it, comparative structure does not.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"blast/internal/datasets"
+	"blast/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: table2..table7, fig5, fig8, fig9, fig10, endtoend, scalability, baselines, all")
+	dataset := flag.String("dataset", "", "dataset for table4/table7/endtoend (default: every applicable)")
+	scale := flag.Float64("scale", 1, "scale multiplier over per-dataset defaults")
+	seed := flag.Uint64("seed", 42, "random seed")
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	if err := run(cfg, *exp, *dataset); err != nil {
+		fmt.Fprintln(os.Stderr, "blastbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg experiments.Config, exp, dataset string) error {
+	switch exp {
+	case "table2":
+		rows, err := experiments.Table2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Table 2: dataset characteristics ==")
+		fmt.Print(experiments.RenderTable2(rows))
+	case "table3":
+		rows, err := experiments.Table3(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Table 3: block collections (Token Blocking ± LMI, before/after purge+filter) ==")
+		fmt.Print(experiments.RenderTable3(rows))
+	case "table4":
+		names := []string{"ar1", "ar2", "prd", "mov"}
+		if dataset != "" {
+			names = []string{dataset}
+		}
+		for _, name := range names {
+			rows, err := experiments.Table4(cfg, name)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderCompare("Table 4 "+name, rows))
+			fmt.Println()
+		}
+	case "table5":
+		rows, err := experiments.Table5(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderCompare("Table 5 dbp (with LSH-starred rows)", rows))
+	case "table6":
+		rows, err := experiments.Table6(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Table 6: LMI run time vs LSH threshold ==")
+		fmt.Print(experiments.RenderTable6(rows))
+	case "table7":
+		names := datasets.DirtyNames()
+		if dataset != "" {
+			names = []string{dataset}
+		}
+		for _, name := range names {
+			rows, err := experiments.Table7(cfg, name)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderCompare("Table 7 "+name+" (dirty ER)", rows))
+			fmt.Println()
+		}
+	case "fig5":
+		curve, th := experiments.Figure5()
+		fmt.Println("== Figure 5 ==")
+		fmt.Print(experiments.RenderFigure5(curve, th))
+	case "fig8":
+		rows, err := experiments.Figure8(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 8: component ablation (wnp / chi / wsh / bch) ==")
+		fmt.Print(experiments.RenderFigure8(rows))
+	case "fig9":
+		rows, err := experiments.Figure9(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 9: LMI vs AC ==")
+		fmt.Print(experiments.RenderFigure9(rows))
+	case "fig10":
+		rows, err := experiments.Figure10(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 10: PC vs LSH threshold (glue cluster disabled) ==")
+		fmt.Print(experiments.RenderFigure10(rows))
+	case "endtoend":
+		name := dataset
+		if name == "" {
+			name = "ar1"
+		}
+		res, err := experiments.EndToEnd(cfg, name, 0.3)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Section 4.2.2: end-to-end comparison savings ==")
+		fmt.Print(res.Render())
+	case "scalability":
+		name := dataset
+		if name == "" {
+			name = "ar1"
+		}
+		rows, err := experiments.Scalability(cfg, name, nil, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Scalability: phase overhead vs dataset scale ==")
+		fmt.Print(experiments.RenderScalability(name, rows))
+	case "baselines":
+		name := dataset
+		if name == "" {
+			name = "ar1"
+		}
+		rows, err := experiments.Baselines(cfg, name)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Extension: blocking substrates feeding BLAST meta-blocking ==")
+		fmt.Print(experiments.RenderBaselines(name, rows))
+	case "standard":
+		rows, err := experiments.StandardBlocking(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Section 4.1: Blast vs schema-based Standard Blocking ==")
+		fmt.Print(experiments.RenderStandard(rows))
+	case "all":
+		for _, e := range []string{"table2", "table3", "table4", "table5", "table6", "table7",
+			"fig5", "fig8", "fig9", "fig10", "endtoend", "scalability", "baselines", "standard"} {
+			if err := run(cfg, e, dataset); err != nil {
+				return fmt.Errorf("%s: %w", e, err)
+			}
+			fmt.Println()
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+
+	"blast/internal/experiments"
+)
+
+func tinyCfg() experiments.Config { return experiments.Config{Scale: 0.15, Seed: 42} }
+
+func TestRunFastExperiments(t *testing.T) {
+	// The cheap experiments exercise the whole dispatch path.
+	for _, exp := range []string{"fig5", "table2"} {
+		if err := run(tinyCfg(), exp, ""); err != nil {
+			t.Errorf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunSingleDatasetSelectors(t *testing.T) {
+	if err := run(tinyCfg(), "table4", "ar1"); err != nil {
+		t.Errorf("table4 ar1: %v", err)
+	}
+	if err := run(tinyCfg(), "table7", "census"); err != nil {
+		t.Errorf("table7 census: %v", err)
+	}
+	if err := run(tinyCfg(), "endtoend", "prd"); err != nil {
+		t.Errorf("endtoend prd: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run(tinyCfg(), "table99", ""); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run(tinyCfg(), "table4", "nope"); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"blast/internal/datasets"
+)
+
+func TestRunWritesCleanCleanFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("prd", 0.03, 7, dir); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, f := range []string{"prd-E1.csv", "prd-E2.csv", "prd-truth.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+	// Files must round-trip through the loaders.
+	f1, err := os.Open(filepath.Join(dir, "prd-E1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f1.Close()
+	e1, err := datasets.ReadCollection(f1, "E1")
+	if err != nil {
+		t.Fatalf("ReadCollection: %v", err)
+	}
+	want := datasets.PRD(0.03, 7)
+	if e1.Len() != want.E1.Len() {
+		t.Errorf("round trip: %d profiles, want %d", e1.Len(), want.E1.Len())
+	}
+}
+
+func TestRunWritesDirtyFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("census", 0.05, 7, dir); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "census-E2.csv")); err == nil {
+		t.Error("dirty dataset should not write E2")
+	}
+	f, err := os.Open(filepath.Join(dir, "census-truth.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds := datasets.Census(0.05, 7)
+	truth, err := datasets.ReadTruth(f, ds)
+	if err != nil {
+		t.Fatalf("ReadTruth: %v", err)
+	}
+	if truth.Size() != ds.Truth.Size() {
+		t.Errorf("truth round trip: %d, want %d", truth.Size(), ds.Truth.Size())
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run("nope", 0.1, 1, t.TempDir()); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}

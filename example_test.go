@@ -1,0 +1,92 @@
+package blast_test
+
+import (
+	"fmt"
+
+	"blast"
+	"blast/internal/datasets"
+	"blast/internal/model"
+)
+
+// ExampleRun demonstrates the full pipeline on the paper's Figure 1
+// example: four heterogeneous person profiles, two true matches.
+func ExampleRun() {
+	ds := datasets.PaperExample()
+	opt := blast.DefaultOptions()
+	opt.PurgeRatio = 1.01 // tiny example: skip purging
+	opt.FilterRatio = 1.0 // ... and filtering
+	res, err := blast.Run(ds, opt)
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range res.Pairs {
+		fmt.Printf("%s matches %s\n", ds.Profile(int(p.U)).ID, ds.Profile(int(p.V)).ID)
+	}
+	fmt.Printf("PC=%.0f%% PQ=%.0f%%\n", res.Quality.PC*100, res.Quality.PQ*100)
+	// Output:
+	// p1 matches p3
+	// p2 matches p4
+	// PC=100% PQ=100%
+}
+
+// ExampleCleanClean shows clean-clean ER over two hand-built collections
+// with different schemas and no alignment.
+func ExampleCleanClean() {
+	a := model.NewCollection("A")
+	p1 := model.Profile{ID: "a1"}
+	p1.Add("name", "Ellen Smith")
+	p1.Add("city", "New York")
+	a.Append(p1)
+	p2 := model.Profile{ID: "a2"}
+	p2.Add("name", "John Abram")
+	p2.Add("city", "Boston")
+	a.Append(p2)
+
+	b := model.NewCollection("B")
+	q1 := model.Profile{ID: "b1"}
+	q1.Add("full name", "Ellen Smith")
+	q1.Add("location", "New York")
+	b.Append(q1)
+	q2 := model.Profile{ID: "b2"}
+	q2.Add("full name", "Mary Jones")
+	q2.Add("location", "Chicago")
+	b.Append(q2)
+
+	opt := blast.DefaultOptions()
+	opt.FilterRatio = 1.0
+	res, err := blast.CleanClean(a, b, nil, opt)
+	if err != nil {
+		panic(err)
+	}
+	for _, pair := range res.Pairs {
+		fmt.Printf("compare a%d with b%d\n", pair.U+1, pair.V-1)
+	}
+	// Output:
+	// compare a1 with b1
+}
+
+// ExampleDirty deduplicates a single collection.
+func ExampleDirty() {
+	e := model.NewCollection("contacts")
+	for i, v := range []string{
+		"Ellen Smith 10 Main street",
+		"Smith, Ellen — Main st. 10",
+		"Giovanni Simonini via Vivarelli 10",
+	} {
+		p := model.Profile{ID: fmt.Sprintf("c%d", i+1)}
+		p.Add("contact", v)
+		e.Append(p)
+	}
+	opt := blast.DefaultOptions()
+	opt.PurgeRatio = 1.01
+	opt.FilterRatio = 1.0
+	res, err := blast.Dirty(e, nil, opt)
+	if err != nil {
+		panic(err)
+	}
+	for _, pair := range res.Pairs {
+		fmt.Printf("compare c%d with c%d\n", pair.U+1, pair.V+1)
+	}
+	// Output:
+	// compare c1 with c2
+}

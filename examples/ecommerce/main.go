@@ -1,0 +1,90 @@
+// Ecommerce demonstrates the public API on hand-written data: two tiny
+// product catalogs with different schemas, no schema alignment, built
+// directly with model.Collection — the way a downstream user would feed
+// their own data to BLAST.
+//
+//	go run ./examples/ecommerce
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"blast"
+	"blast/internal/model"
+)
+
+func main() {
+	// Catalog A: a retailer with name/description/maker/price.
+	a := model.NewCollection("shopA")
+	addA := func(id, name, descr, maker, price string) {
+		p := model.Profile{ID: id}
+		p.Add("name", name)
+		p.Add("description", descr)
+		p.Add("maker", maker)
+		p.Add("price", price)
+		a.Append(p)
+	}
+	addA("a1", "Lumix DMC TZ5 silver", "compact digital camera 9 megapixel 10x zoom leica lens", "Panasonic", "299")
+	addA("a2", "EOS 450D body", "digital slr camera 12 megapixel live view kit", "Canon", "649")
+	addA("a3", "Walkman NWZ A818", "portable mp3 player 8gb bluetooth black", "Sony", "189")
+	addA("a4", "ThinkPad X200 laptop", "12 inch ultraportable notebook core duo 2gb", "Lenovo", "1099")
+
+	// Catalog B: a marketplace with title/specs/brand only.
+	b := model.NewCollection("shopB")
+	addB := func(id, title, specs, brand string) {
+		p := model.Profile{ID: id}
+		p.Add("title", title)
+		p.Add("specs", specs)
+		p.Add("brand", brand)
+		b.Append(p)
+	}
+	addB("b1", "Panasonic Lumix TZ5-S", "9MP compact camera, 10x optical zoom, leica lens, silver", "Panasonic")
+	addB("b2", "Canon EOS450D SLR", "12MP digital slr, live view, body only", "Canon")
+	addB("b3", "Sony NWZ-A818 8GB Walkman", "mp3 player bluetooth, 8 gb, black", "Sony")
+	addB("b4", "Garmin nuvi 260W GPS", "gps navigator 4.3 inch widescreen maps", "Garmin")
+
+	// Known duplicates for quality reporting (global ids: B starts at 4).
+	truth := model.NewGroundTruth()
+	truth.Add(0, 4) // a1 ~ b1
+	truth.Add(1, 5) // a2 ~ b2
+	truth.Add(2, 6) // a3 ~ b3
+
+	opt := blast.DefaultOptions()
+	opt.FilterRatio = 1.0 // tiny dataset: keep all block memberships
+	res, err := blast.CleanClean(a, b, truth, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecommerce:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("attribute clusters discovered without any schema alignment:")
+	for _, c := range res.Partitioning.Clusters {
+		if len(c.Members) == 0 || c.ID == 0 {
+			continue
+		}
+		fmt.Printf("  cluster %d (H̄=%.2f):", c.ID, c.Entropy)
+		for _, m := range c.Members {
+			fmt.Printf(" %s/%s", []string{"A", "B"}[m.Source], m.Name)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\nretained comparisons (%d of %d possible):\n", len(res.Pairs), a.Len()*b.Len())
+	for _, p := range res.Pairs {
+		u, v := int(p.U), int(p.V)
+		mark := " "
+		if truth.Contains(u, v) {
+			mark = "*"
+		}
+		fmt.Printf("  %s %s <-> %s\n", mark, idOf(a, b, u), idOf(a, b, v))
+	}
+	fmt.Printf("\nPC=%.0f%% PQ=%.0f%% (* = true duplicate)\n", res.Quality.PC*100, res.Quality.PQ*100)
+}
+
+func idOf(a, b *model.Collection, global int) string {
+	if global < a.Len() {
+		return a.Profiles[global].ID
+	}
+	return b.Profiles[global-a.Len()].ID
+}

@@ -1,0 +1,505 @@
+package attr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"blast/internal/blocking"
+	"blast/internal/datasets"
+	"blast/internal/lsh"
+	"blast/internal/model"
+	"blast/internal/text"
+)
+
+func hashes(tokens ...string) []uint64 {
+	hs := make([]uint64, len(tokens))
+	for i, t := range tokens {
+		hs[i] = lsh.TokenHash(t)
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	return hs
+}
+
+func TestJaccardBasics(t *testing.T) {
+	a := hashes("x", "y", "z")
+	b := hashes("y", "z", "w")
+	if got := Jaccard(a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Jaccard = %v, want 0.5", got)
+	}
+	if got := Jaccard(a, a); got != 1 {
+		t.Errorf("self Jaccard = %v, want 1", got)
+	}
+	if got := Jaccard(a, nil); got != 0 {
+		t.Errorf("empty Jaccard = %v, want 0", got)
+	}
+	if got := Jaccard(hashes("p"), hashes("q")); got != 0 {
+		t.Errorf("disjoint Jaccard = %v, want 0", got)
+	}
+}
+
+func TestJaccardProperties(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		mk := func(vs []uint16) []uint64 {
+			m := make(map[uint64]bool)
+			for _, v := range vs {
+				m[uint64(v)] = true
+			}
+			out := make([]uint64, 0, len(m))
+			for v := range m {
+				out = append(out, v)
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+			return out
+		}
+		a, b := mk(xs), mk(ys)
+		s1, s2 := Jaccard(a, b), Jaccard(b, a)
+		if s1 != s2 {
+			return false // symmetry
+		}
+		if s1 < 0 || s1 > 1 {
+			return false // bounds
+		}
+		if len(a) > 0 && Jaccard(a, a) != 1 {
+			return false // identity
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtractProfilesPaperExample(t *testing.T) {
+	ds := datasets.PaperExample()
+	ps := ExtractProfiles(ds, text.NewTokenizer())
+	// 17 distinct attribute names in Figure 1a ("Loc" and "loc" differ).
+	if len(ps) != 17 {
+		t.Fatalf("extracted %d attribute profiles, want 17", len(ps))
+	}
+	// Sorted by (source, name).
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1].Ref.Name >= ps[i].Ref.Name {
+			t.Fatal("profiles not sorted by name")
+		}
+	}
+	byName := make(map[string]Profile)
+	for _, p := range ps {
+		byName[p.Ref.Name] = p
+	}
+	name := byName["Name"] // "John Abram Jr"
+	if len(name.Tokens) != 3 || name.Count != 3 {
+		t.Errorf("Name profile tokens=%d count=%d, want 3/3", len(name.Tokens), name.Count)
+	}
+	// Uniform 3 tokens: entropy log2(3).
+	if math.Abs(name.Entropy-math.Log2(3)) > 1e-12 {
+		t.Errorf("Name entropy = %v, want log2(3)", name.Entropy)
+	}
+	// "year" has values 1985 and 85: two tokens, entropy 1 bit.
+	year := byName["year"]
+	if math.Abs(year.Entropy-1) > 1e-12 {
+		t.Errorf("year entropy = %v, want 1", year.Entropy)
+	}
+}
+
+func TestExtractProfilesCleanCleanSeparatesSources(t *testing.T) {
+	e1 := model.NewCollection("A")
+	p := model.Profile{ID: "1"}
+	p.Add("name", "alice")
+	e1.Append(p)
+	e2 := model.NewCollection("B")
+	q := model.Profile{ID: "2"}
+	q.Add("name", "bob")
+	e2.Append(q)
+	ds := &model.Dataset{Name: "d", Kind: model.CleanClean, E1: e1, E2: e2, Truth: model.NewGroundTruth()}
+	ps := ExtractProfiles(ds, text.NewTokenizer())
+	if len(ps) != 2 {
+		t.Fatalf("want two profiles for same-named attributes of different sources, got %d", len(ps))
+	}
+	if ps[0].Ref.Source == ps[1].Ref.Source {
+		t.Error("sources not distinguished")
+	}
+}
+
+// mkProfiles builds synthetic attribute profiles from (source, name, tokens).
+func mkProfiles(rows []struct {
+	src    int
+	name   string
+	tokens []string
+}) []Profile {
+	ps := make([]Profile, len(rows))
+	for i, r := range rows {
+		ps[i] = Profile{Ref: Ref{Source: r.src, Name: r.name}, Tokens: hashes(r.tokens...), Entropy: 1}
+	}
+	return ps
+}
+
+func TestLMIClustersSimilarAttributes(t *testing.T) {
+	rows := []struct {
+		src    int
+		name   string
+		tokens []string
+	}{
+		{0, "name", []string{"alice", "bob", "carol", "dave", "ellen", "frank"}},
+		{0, "street", []string{"main", "oak", "pine", "elm", "maple"}},
+		{1, "full_name", []string{"alice", "bob", "carol", "dave", "ellen", "gina"}},
+		{1, "location", []string{"main", "oak", "pine", "elm", "birch"}},
+		{1, "isbn", []string{"111", "222", "333"}},
+	}
+	ps := mkProfiles(rows)
+	part := LMI(ps, model.CleanClean, DefaultConfig())
+
+	nameC, ok1 := part.ClusterOf(0, "name")
+	fullC, ok2 := part.ClusterOf(1, "full_name")
+	if !ok1 || !ok2 || nameC != fullC || nameC == GlueClusterID {
+		t.Errorf("name/full_name clusters: %d/%d (%v,%v), want same non-glue", nameC, fullC, ok1, ok2)
+	}
+	stC, _ := part.ClusterOf(0, "street")
+	locC, _ := part.ClusterOf(1, "location")
+	if stC != locC || stC == GlueClusterID || stC == nameC {
+		t.Errorf("street/location clusters: %d/%d, want same non-glue distinct from names", stC, locC)
+	}
+	isbnC, ok := part.ClusterOf(1, "isbn")
+	if !ok || isbnC != GlueClusterID {
+		t.Errorf("isbn cluster = %d (%v), want glue", isbnC, ok)
+	}
+	if part.NumClusters() != 3 {
+		t.Errorf("NumClusters = %d, want 3 (2 + glue)", part.NumClusters())
+	}
+}
+
+func TestLMIRequiresMutualCandidates(t *testing.T) {
+	// A == B identical; C half-overlapping with both. C's best is A/B but
+	// A and B prefer each other, so LMI must leave C out; AC chains it in.
+	rows := []struct {
+		src    int
+		name   string
+		tokens []string
+	}{
+		{0, "A", []string{"t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8"}},
+		{1, "B", []string{"t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8"}},
+		{0, "C", []string{"t1", "t2", "t3", "t4", "u1", "u2", "u3", "u4"}},
+	}
+	ps := mkProfiles(rows)
+
+	lmi := LMI(ps, model.CleanClean, DefaultConfig())
+	aC, _ := lmi.ClusterOf(0, "A")
+	bC, _ := lmi.ClusterOf(1, "B")
+	cC, _ := lmi.ClusterOf(0, "C")
+	if aC != bC || aC == GlueClusterID {
+		t.Errorf("LMI should cluster A,B together (got %d,%d)", aC, bC)
+	}
+	if cC != GlueClusterID {
+		t.Errorf("LMI put C in cluster %d, want glue (mutuality violated)", cC)
+	}
+
+	ac := AC(ps, model.CleanClean, DefaultConfig())
+	aC2, _ := ac.ClusterOf(0, "A")
+	cC2, _ := ac.ClusterOf(0, "C")
+	if aC2 != cC2 {
+		t.Errorf("AC should chain C into A's cluster (got %d vs %d)", aC2, cC2)
+	}
+}
+
+func TestLMIGlueDisabledDropsAttributes(t *testing.T) {
+	rows := []struct {
+		src    int
+		name   string
+		tokens []string
+	}{
+		{0, "a", []string{"x", "y"}},
+		{1, "b", []string{"x", "y"}},
+		{0, "lonely", []string{"zzz"}},
+	}
+	ps := mkProfiles(rows)
+	cfg := DefaultConfig()
+	cfg.Glue = false
+	part := LMI(ps, model.CleanClean, cfg)
+	if _, ok := part.ClusterOf(0, "lonely"); ok {
+		t.Error("glue disabled: unclustered attribute should not participate")
+	}
+	if _, ok := part.ClusterOf(0, "a"); !ok {
+		t.Error("clustered attribute must participate")
+	}
+}
+
+func TestLMIPaperExampleDisambiguatesAbram(t *testing.T) {
+	// Running real LMI on the Figure 1 profiles reproduces Figure 2a: the
+	// name attributes of p1/p3 and the address attributes of p2/p4 fall
+	// in different clusters, splitting the "abram" block into {p1,p3} and
+	// {p2,p4}.
+	ds := datasets.PaperExample()
+	ps := ExtractProfiles(ds, text.NewTokenizer())
+	part := LMI(ps, ds.Kind, DefaultConfig())
+
+	nameC, ok1 := part.ClusterOf(0, "Name")   // p1: "John Abram Jr"
+	name2C, ok2 := part.ClusterOf(0, "name2") // p3: "Abram"
+	mailC, ok3 := part.ClusterOf(0, "mail")   // p2: "Abram st. 30 NY"
+	locC, ok4 := part.ClusterOf(0, "loc")     // p4: "Abram street NY"
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		t.Fatal("paper attributes missing from partitioning")
+	}
+	if nameC != name2C {
+		t.Errorf("Name and name2 in clusters %d vs %d, want same", nameC, name2C)
+	}
+	if mailC != locC {
+		t.Errorf("mail and loc in clusters %d vs %d, want same", mailC, locC)
+	}
+	if nameC == mailC {
+		t.Error("name cluster and address cluster must differ for Abram disambiguation")
+	}
+
+	// The split blocks of Figure 2a.
+	c := blocking.Build(ds, text.NewTokenizer(), part.KeyFunc())
+	var abramBlocks [][]int32
+	for i := range c.Blocks {
+		key := c.Blocks[i].Key
+		if len(key) >= 5 && key[:5] == "abram" {
+			abramBlocks = append(abramBlocks, c.Blocks[i].P1)
+		}
+	}
+	if len(abramBlocks) != 2 {
+		t.Fatalf("abram split into %d blocks, want 2", len(abramBlocks))
+	}
+	members := func(b []int32) string { return fmt.Sprint(b) }
+	got := map[string]bool{}
+	for _, b := range abramBlocks {
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		got[members(b)] = true
+	}
+	if !got["[0 2]"] || !got["[1 3]"] {
+		t.Errorf("abram blocks = %v, want {p1,p3} and {p2,p4}", got)
+	}
+}
+
+func TestLMIClustersAreDisjointProperty(t *testing.T) {
+	ds := datasets.PaperExample()
+	ps := ExtractProfiles(ds, text.NewTokenizer())
+	part := LMI(ps, ds.Kind, DefaultConfig())
+	seen := make(map[Ref]int)
+	for _, c := range part.Clusters {
+		for _, m := range c.Members {
+			if prev, dup := seen[m]; dup {
+				t.Errorf("attribute %v in clusters %d and %d", m, prev, c.ID)
+			}
+			seen[m] = c.ID
+		}
+	}
+	// Glue enabled: every attribute must be assigned.
+	if len(seen) != len(ps) {
+		t.Errorf("assigned %d of %d attributes", len(seen), len(ps))
+	}
+}
+
+func TestPartitioningEntropy(t *testing.T) {
+	ps := []Profile{
+		{Ref: Ref{0, "a"}, Tokens: hashes("x", "y"), Entropy: 3.5},
+		{Ref: Ref{1, "b"}, Tokens: hashes("x", "y"), Entropy: 1.5},
+		{Ref: Ref{0, "c"}, Tokens: hashes("qq"), Entropy: 2.0},
+	}
+	part := LMI(ps, model.CleanClean, DefaultConfig())
+	id, ok := part.ClusterOf(0, "a")
+	if !ok || id == GlueClusterID {
+		t.Fatalf("a not clustered: %d %v", id, ok)
+	}
+	// Aggregate entropy = mean(3.5, 1.5) = 2.5.
+	if got := part.Entropy(id); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("cluster entropy = %v, want 2.5", got)
+	}
+	// Glue entropy = 2.0 (single member).
+	if got := part.Entropy(GlueClusterID); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("glue entropy = %v, want 2.0", got)
+	}
+	// Out-of-range ids degrade to 1.
+	if part.Entropy(99) != 1 || part.Entropy(-1) != 1 {
+		t.Error("unknown cluster entropy should be 1")
+	}
+}
+
+func TestKeyFuncQualifiesTokens(t *testing.T) {
+	ps := []Profile{
+		{Ref: Ref{0, "a"}, Tokens: hashes("x"), Entropy: 2},
+		{Ref: Ref{1, "b"}, Tokens: hashes("x"), Entropy: 4},
+	}
+	part := LMI(ps, model.CleanClean, DefaultConfig())
+	kf := part.KeyFunc()
+	k1, h1, ok1 := kf(0, "a", "tok")
+	k2, h2, ok2 := kf(1, "b", "tok")
+	if !ok1 || !ok2 {
+		t.Fatal("clustered attributes must emit keys")
+	}
+	if k1 != k2 {
+		t.Errorf("same-cluster keys differ: %q vs %q", k1, k2)
+	}
+	if h1 != 3 || h2 != 3 {
+		t.Errorf("key entropies = %v,%v, want aggregate 3", h1, h2)
+	}
+	if _, _, ok := kf(0, "unknown", "tok"); ok {
+		t.Error("unknown attribute should not emit keys")
+	}
+}
+
+func TestLSHStepMatchesExhaustiveOnSimilarPairs(t *testing.T) {
+	// 30 attribute pairs with ~0.8 similarity: LSH at threshold ~0.5 must
+	// recover the same partitioning as the exhaustive scan.
+	var rows []struct {
+		src    int
+		name   string
+		tokens []string
+	}
+	for i := 0; i < 30; i++ {
+		base := make([]string, 10)
+		for j := range base {
+			base[j] = fmt.Sprintf("t%02d_%d", i, j)
+		}
+		variant := append([]string{fmt.Sprintf("extra%d", i)}, base[:9]...)
+		rows = append(rows, struct {
+			src    int
+			name   string
+			tokens []string
+		}{0, fmt.Sprintf("a%02d", i), base})
+		rows = append(rows, struct {
+			src    int
+			name   string
+			tokens []string
+		}{1, fmt.Sprintf("b%02d", i), variant})
+	}
+	ps := mkProfiles(rows)
+
+	exact := LMI(ps, model.CleanClean, DefaultConfig())
+	cfgLSH := DefaultConfig()
+	cfgLSH.LSH = &LSHConfig{Rows: 5, Bands: 30, Seed: 7}
+	approx := LMI(ps, model.CleanClean, cfgLSH)
+
+	if exact.NumClusters() != approx.NumClusters() {
+		t.Fatalf("clusters: exhaustive %d vs LSH %d", exact.NumClusters(), approx.NumClusters())
+	}
+	for _, p := range ps {
+		e, _ := exact.ClusterOf(p.Ref.Source, p.Ref.Name)
+		a, _ := approx.ClusterOf(p.Ref.Source, p.Ref.Name)
+		eg := e == GlueClusterID
+		ag := a == GlueClusterID
+		if eg != ag {
+			t.Errorf("attribute %v: glue status differs (exact %d, lsh %d)", p.Ref, e, a)
+		}
+	}
+}
+
+func TestLSHStepPrunesLowSimilarityPairs(t *testing.T) {
+	// Two attributes with Jaccard ~0.18: a high LSH threshold should make
+	// them invisible to LMI even though the exhaustive scan clusters them
+	// (their best match is each other).
+	rows := []struct {
+		src    int
+		name   string
+		tokens []string
+	}{
+		{0, "a", []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10"}},
+		{1, "b", []string{"1", "2", "3", "x4", "x5", "x6", "x7", "x8", "x9", "x10"}},
+	}
+	ps := mkProfiles(rows)
+	exact := LMI(ps, model.CleanClean, DefaultConfig())
+	if a, _ := exact.ClusterOf(0, "a"); a == GlueClusterID {
+		t.Fatal("precondition: exhaustive LMI should cluster the pair")
+	}
+	cfg := DefaultConfig()
+	cfg.LSH = &LSHConfig{Rows: 10, Bands: 10, Seed: 3} // threshold ~0.79
+	approx := LMI(ps, model.CleanClean, cfg)
+	if a, _ := approx.ClusterOf(0, "a"); a != GlueClusterID {
+		t.Errorf("LSH threshold ~0.79 should prune the 0.18-similar pair, got cluster %d", a)
+	}
+}
+
+func TestMinSimFloor(t *testing.T) {
+	rows := []struct {
+		src    int
+		name   string
+		tokens []string
+	}{
+		{0, "a", []string{"1", "2", "3", "4"}},
+		{1, "b", []string{"1", "2", "x", "y"}}, // J = 2/6 = 0.33
+	}
+	ps := mkProfiles(rows)
+	cfg := DefaultConfig()
+	cfg.MinSim = 0.5
+	part := LMI(ps, model.CleanClean, cfg)
+	if a, _ := part.ClusterOf(0, "a"); a != GlueClusterID {
+		t.Errorf("MinSim floor should prune the pair, got cluster %d", a)
+	}
+}
+
+func TestACDirtyKind(t *testing.T) {
+	rows := []struct {
+		src    int
+		name   string
+		tokens []string
+	}{
+		{0, "name", []string{"alice", "bob", "carol"}},
+		{0, "alias", []string{"alice", "bob", "dave"}},
+		{0, "price", []string{"10", "20"}},
+	}
+	ps := mkProfiles(rows)
+	part := AC(ps, model.Dirty, DefaultConfig())
+	a, _ := part.ClusterOf(0, "name")
+	b, _ := part.ClusterOf(0, "alias")
+	if a != b || a == GlueClusterID {
+		t.Errorf("dirty AC should cluster name/alias: %d vs %d", a, b)
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := newUnionFind(6)
+	uf.union(0, 1)
+	uf.union(2, 3)
+	uf.union(1, 2)
+	if uf.find(0) != uf.find(3) {
+		t.Error("union chain broken")
+	}
+	if uf.find(4) == uf.find(0) || uf.find(4) == uf.find(5) {
+		t.Error("separate elements merged")
+	}
+}
+
+func TestDefaultConfigAlphaClamp(t *testing.T) {
+	ps := []Profile{
+		{Ref: Ref{0, "a"}, Tokens: hashes("x", "y")},
+		{Ref: Ref{1, "b"}, Tokens: hashes("x", "y")},
+	}
+	cfg := Config{Alpha: -3, Glue: true} // invalid alpha -> default 0.9
+	part := LMI(ps, model.CleanClean, cfg)
+	a, _ := part.ClusterOf(0, "a")
+	b, _ := part.ClusterOf(1, "b")
+	if a != b || a == GlueClusterID {
+		t.Error("clamped alpha should still cluster identical attributes")
+	}
+}
+
+func TestPartitioningString(t *testing.T) {
+	ds := datasets.PaperExample()
+	ps := ExtractProfiles(ds, text.NewTokenizer())
+	part := LMI(ps, ds.Kind, DefaultConfig())
+	if part.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestLMIParallelWorkersIdentical(t *testing.T) {
+	ds := datasets.MOV(0.01, 7)
+	profiles := ExtractProfiles(ds, text.NewTokenizer())
+	serial := LMI(profiles, ds.Kind, DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	par := LMI(profiles, ds.Kind, cfg)
+	if serial.NumClusters() != par.NumClusters() {
+		t.Fatalf("workers changed clusters: %d vs %d", serial.NumClusters(), par.NumClusters())
+	}
+	for _, p := range profiles {
+		a, okA := serial.ClusterOf(p.Ref.Source, p.Ref.Name)
+		b, okB := par.ClusterOf(p.Ref.Source, p.Ref.Name)
+		if okA != okB || a != b {
+			t.Fatalf("attribute %v assigned differently: %d/%v vs %d/%v", p.Ref, a, okA, b, okB)
+		}
+	}
+}

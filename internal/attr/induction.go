@@ -1,0 +1,229 @@
+package attr
+
+import (
+	"sync"
+
+	"blast/internal/lsh"
+	"blast/internal/model"
+)
+
+// Config controls attribute-match induction.
+type Config struct {
+	// Alpha is the candidate threshold factor of LMI (Algorithm 1,
+	// lines 9-13): a_j is a candidate match of a_i when
+	// sim(a_i, a_j) >= Alpha * maxSim(a_i). Default 0.9.
+	Alpha float64
+	// Glue enables the glue cluster gathering unclustered attributes.
+	// The paper enables it by default; Figure 10 disables it to study
+	// the LSH threshold.
+	Glue bool
+	// LSH, when non-nil, replaces the quadratic pair enumeration with
+	// banded MinHash candidate generation (Section 3.1.2).
+	LSH *LSHConfig
+	// MinSim discards pairs below an absolute similarity floor before
+	// candidate selection. Zero keeps everything (paper behaviour).
+	MinSim float64
+	// Representation selects binary/Jaccard (default) or TF-IDF/cosine
+	// attribute comparison (Section 2.1's two compatible combinations).
+	Representation Representation
+	// Workers parallelizes pair scoring (0/1 = serial). The result is
+	// identical either way; useful for the exhaustive quadratic scan on
+	// wide schemas when LSH is not enabled.
+	Workers int
+}
+
+// LSHConfig parameterizes the optional MinHash/banding step. The implied
+// Jaccard threshold is (1/Bands)^(1/Rows) — see lsh.Threshold.
+type LSHConfig struct {
+	Rows  int    // rows per band (r)
+	Bands int    // number of bands (b)
+	Seed  uint64 // hash seed (deterministic)
+}
+
+// DefaultConfig returns the paper's settings: alpha = 0.9, glue cluster
+// enabled, exhaustive pair enumeration.
+func DefaultConfig() Config {
+	return Config{Alpha: 0.9, Glue: true}
+}
+
+// pairSim is one scored attribute pair (indexes into the profile slice).
+type pairSim struct {
+	i, j int
+	sim  float64
+}
+
+// enumeratePairs lists the attribute pairs to score: all cross-source
+// pairs for clean-clean ER, all unordered pairs for dirty ER, or the LSH
+// candidates when configured. Pairs are returned with i < j.
+func enumeratePairs(profiles []Profile, kind model.Kind, cfg Config) []pairSim {
+	var out []pairSim
+	cross := func(i, j int) bool {
+		if kind == model.CleanClean {
+			return profiles[i].Ref.Source != profiles[j].Ref.Source
+		}
+		return true
+	}
+	if cfg.LSH != nil {
+		rows, bands := cfg.LSH.Rows, cfg.LSH.Bands
+		signer := lsh.NewSigner(rows*bands, cfg.LSH.Seed)
+		ix := lsh.NewIndex(rows, bands)
+		for i := range profiles {
+			ix.Add(int32(i), signer.SignHashes(profiles[i].Tokens))
+		}
+		for _, c := range ix.Candidates(func(a, b int32) bool { return cross(int(a), int(b)) }) {
+			out = append(out, pairSim{i: int(c.A), j: int(c.B)})
+		}
+		return out
+	}
+	for i := 0; i < len(profiles); i++ {
+		for j := i + 1; j < len(profiles); j++ {
+			if cross(i, j) {
+				out = append(out, pairSim{i: i, j: j})
+			}
+		}
+	}
+	return out
+}
+
+// scorePairs computes the exact similarity of each enumerated pair under
+// the configured representation, dropping pairs with zero similarity or
+// below cfg.MinSim. With cfg.Workers > 1 scoring is chunked across
+// goroutines; the filtered output order is identical to the serial scan.
+func scorePairs(profiles []Profile, pairs []pairSim, cfg Config) []pairSim {
+	var view *weightedView
+	if cfg.Representation == TFIDF {
+		view = buildTFIDF(profiles)
+	}
+	score := func(p pairSim) float64 {
+		if view != nil {
+			return view.cosine(&profiles[p.i], &profiles[p.j], p.i, p.j)
+		}
+		return Jaccard(profiles[p.i].Tokens, profiles[p.j].Tokens)
+	}
+
+	if cfg.Workers > 1 && len(pairs) >= 4*cfg.Workers {
+		var wg sync.WaitGroup
+		chunk := (len(pairs) + cfg.Workers - 1) / cfg.Workers
+		for start := 0; start < len(pairs); start += chunk {
+			end := start + chunk
+			if end > len(pairs) {
+				end = len(pairs)
+			}
+			wg.Add(1)
+			go func(span []pairSim) {
+				defer wg.Done()
+				for k := range span {
+					span[k].sim = score(span[k])
+				}
+			}(pairs[start:end])
+		}
+		wg.Wait()
+		out := pairs[:0]
+		for _, p := range pairs {
+			if p.sim <= 0 || p.sim < cfg.MinSim {
+				continue
+			}
+			out = append(out, p)
+		}
+		return out
+	}
+
+	out := pairs[:0]
+	for _, p := range pairs {
+		s := score(p)
+		if s <= 0 || s < cfg.MinSim {
+			continue
+		}
+		p.sim = s
+		out = append(out, p)
+	}
+	return out
+}
+
+// LMI runs Loose attribute-Match Induction (Algorithm 1 of the paper)
+// over the attribute profiles: it scores the enumerated pairs, computes
+// each attribute's maximum similarity, selects per-attribute candidates
+// within Alpha of that maximum, keeps mutual candidates as edges, and
+// partitions attributes into the connected components of the edge graph
+// (components of size >= 2; remaining attributes go to the glue cluster
+// when enabled).
+//
+// LMI produces cohesive clusters: an edge requires both endpoints to rank
+// each other among their near-best matches.
+func LMI(profiles []Profile, kind model.Kind, cfg Config) *Partitioning {
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = 0.9
+	}
+	pairs := scorePairs(profiles, enumeratePairs(profiles, kind, cfg), cfg)
+
+	// Lines 2-8: track the maximum similarity per attribute.
+	maxSim := make([]float64, len(profiles))
+	for _, p := range pairs {
+		if p.sim > maxSim[p.i] {
+			maxSim[p.i] = p.sim
+		}
+		if p.sim > maxSim[p.j] {
+			maxSim[p.j] = p.sim
+		}
+	}
+
+	// Lines 9-13: candidate sets — a_j is a candidate of a_i when its
+	// similarity is within Alpha of a_i's best.
+	cand := make([]map[int]bool, len(profiles))
+	addCand := func(of, who int) {
+		if cand[of] == nil {
+			cand[of] = make(map[int]bool)
+		}
+		cand[of][who] = true
+	}
+	for _, p := range pairs {
+		if p.sim >= cfg.Alpha*maxSim[p.i] {
+			addCand(p.i, p.j)
+		}
+		if p.sim >= cfg.Alpha*maxSim[p.j] {
+			addCand(p.j, p.i)
+		}
+	}
+
+	// Lines 14-16: mutual candidates become edges.
+	uf := newUnionFind(len(profiles))
+	for _, p := range pairs {
+		if cand[p.i][p.j] && cand[p.j][p.i] {
+			uf.union(p.i, p.j)
+		}
+	}
+
+	// Line 17: connected components with cardinality > 1.
+	return buildPartitioning(profiles, uf, cfg.Glue)
+}
+
+// AC runs the Attribute Clustering baseline (Papadakis et al., TKDE'13):
+// every attribute is linked to its single most similar attribute (no
+// mutuality requirement), and connected components of these best-match
+// links form the clusters. Compared to LMI it tends to chain attributes
+// transitively ("similar to other similar attributes", Section 4.3).
+func AC(profiles []Profile, kind model.Kind, cfg Config) *Partitioning {
+	pairs := scorePairs(profiles, enumeratePairs(profiles, kind, cfg), cfg)
+
+	best := make([]int, len(profiles))
+	bestSim := make([]float64, len(profiles))
+	for i := range best {
+		best[i] = -1
+	}
+	for _, p := range pairs {
+		if p.sim > bestSim[p.i] {
+			bestSim[p.i], best[p.i] = p.sim, p.j
+		}
+		if p.sim > bestSim[p.j] {
+			bestSim[p.j], best[p.j] = p.sim, p.i
+		}
+	}
+
+	uf := newUnionFind(len(profiles))
+	for i, j := range best {
+		if j >= 0 {
+			uf.union(i, j)
+		}
+	}
+	return buildPartitioning(profiles, uf, cfg.Glue)
+}

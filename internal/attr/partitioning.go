@@ -1,0 +1,177 @@
+package attr
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"blast/internal/blocking"
+	"blast/internal/stats"
+)
+
+// GlueClusterID is the id of the glue cluster that gathers all attributes
+// not assigned to any similarity cluster (Section 3.1.1). Real clusters
+// are numbered from 1.
+const GlueClusterID = 0
+
+// Cluster is one element of the attributes partitioning: a set of
+// attributes whose values are mutually similar, plus the aggregate
+// entropy H̄(C_k) — the mean Shannon entropy of its members.
+type Cluster struct {
+	ID      int
+	Members []Ref
+	Entropy float64
+}
+
+// Partitioning is the non-overlapping partition of the attribute name
+// space produced by attribute-match induction, together with the
+// aggregate entropies that BLAST's meta-blocking consumes.
+type Partitioning struct {
+	// Clusters is indexed by cluster id; index 0 is the glue cluster
+	// (possibly empty or disabled).
+	Clusters []Cluster
+	// Glue records whether unclustered attributes are kept (assigned to
+	// the glue cluster) or dropped from blocking entirely.
+	Glue bool
+
+	byAttr map[Ref]int
+}
+
+// ClusterOf returns the cluster id of an attribute and whether the
+// attribute participates in blocking at all (false when the glue cluster
+// is disabled and the attribute is unclustered, or the attribute is
+// unknown).
+func (p *Partitioning) ClusterOf(source int, name string) (int, bool) {
+	id, ok := p.byAttr[Ref{Source: source, Name: name}]
+	return id, ok
+}
+
+// NumClusters returns the number of non-empty clusters, glue included.
+func (p *Partitioning) NumClusters() int {
+	n := 0
+	for _, c := range p.Clusters {
+		if len(c.Members) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Entropy returns the aggregate entropy of a cluster id; unknown ids
+// yield 1 so that weighting degrades to the entropy-free behaviour.
+func (p *Partitioning) Entropy(id int) float64 {
+	if id < 0 || id >= len(p.Clusters) {
+		return 1
+	}
+	return p.Clusters[id].Entropy
+}
+
+// KeyFunc adapts the partitioning to the blocking package: tokens are
+// qualified with the cluster id of the attribute they appear in
+// (disambiguating e.g. "Abram" as person name vs street name, Figure 2),
+// and every block inherits the cluster's aggregate entropy.
+func (p *Partitioning) KeyFunc() blocking.KeyFunc {
+	return func(source int, attrName, token string) (string, float64, bool) {
+		id, ok := p.ClusterOf(source, attrName)
+		if !ok {
+			return "", 0, false
+		}
+		return token + "\x1f" + strconv.Itoa(id), p.Entropy(id), true
+	}
+}
+
+// String summarizes the partitioning for logs and reports.
+func (p *Partitioning) String() string {
+	return fmt.Sprintf("partitioning{%d clusters, glue=%v}", p.NumClusters(), p.Glue)
+}
+
+// buildPartitioning assembles a Partitioning from union-find components
+// over the profile indexes. Components of size >= 2 become clusters
+// (sorted for determinism); singletons go to the glue cluster when
+// enabled. Cluster entropy is the mean entropy of the members.
+func buildPartitioning(profiles []Profile, uf *unionFind, glue bool) *Partitioning {
+	groups := make(map[int][]int) // root -> member profile indexes
+	for i := range profiles {
+		r := uf.find(i)
+		groups[r] = append(groups[r], i)
+	}
+	roots := make([]int, 0, len(groups))
+	for r, members := range groups {
+		if len(members) >= 2 {
+			roots = append(roots, r)
+		}
+	}
+	// Deterministic cluster order: by smallest member index.
+	sort.Slice(roots, func(i, j int) bool {
+		return groups[roots[i]][0] < groups[roots[j]][0]
+	})
+
+	part := &Partitioning{Glue: glue, byAttr: make(map[Ref]int)}
+	part.Clusters = append(part.Clusters, Cluster{ID: GlueClusterID})
+
+	clustered := make([]bool, len(profiles))
+	for _, r := range roots {
+		id := len(part.Clusters)
+		var ents []float64
+		c := Cluster{ID: id}
+		for _, idx := range groups[r] {
+			c.Members = append(c.Members, profiles[idx].Ref)
+			ents = append(ents, profiles[idx].Entropy)
+			part.byAttr[profiles[idx].Ref] = id
+			clustered[idx] = true
+		}
+		c.Entropy = stats.Mean(ents)
+		part.Clusters = append(part.Clusters, c)
+	}
+
+	if glue {
+		var ents []float64
+		gc := &part.Clusters[GlueClusterID]
+		for i := range profiles {
+			if clustered[i] {
+				continue
+			}
+			gc.Members = append(gc.Members, profiles[i].Ref)
+			ents = append(ents, profiles[i].Entropy)
+			part.byAttr[profiles[i].Ref] = GlueClusterID
+		}
+		gc.Entropy = stats.Mean(ents)
+	}
+	return part
+}
+
+// unionFind is a standard disjoint-set forest with path halving and
+// union by size.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+}

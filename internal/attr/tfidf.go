@@ -1,0 +1,104 @@
+package attr
+
+import "math"
+
+// Representation selects how attribute profiles are compared during
+// attribute-match induction (Section 2.1 of the paper): binary presence
+// with the Jaccard coefficient (LMI's default), or TF-IDF weights with
+// cosine similarity — "the similarity measure must be compatible with
+// the attribute model representation".
+type Representation int
+
+const (
+	// Binary models each attribute as the set of its tokens and compares
+	// with Jaccard.
+	Binary Representation = iota
+	// TFIDF models each attribute as a TF-IDF-weighted vector over the
+	// token space and compares with cosine similarity, discounting
+	// tokens that occur in many attributes.
+	TFIDF
+)
+
+// String implements fmt.Stringer.
+func (r Representation) String() string {
+	if r == TFIDF {
+		return "tfidf"
+	}
+	return "binary"
+}
+
+// weightedView holds unit-L2-normalized TF-IDF vectors aligned with each
+// profile's sorted token hashes.
+type weightedView struct {
+	weights [][]float64
+}
+
+// buildTFIDF computes the TF-IDF weights of every profile:
+//
+//	w(t, a) = tf(t, a) * log(N / df(t))
+//
+// with tf the relative frequency of the token within the attribute, df
+// the number of attributes containing it and N the number of attributes;
+// vectors are normalized to unit length so cosine is a plain dot
+// product. Profiles must carry Freqs (ExtractProfiles fills them).
+func buildTFIDF(profiles []Profile) *weightedView {
+	df := make(map[uint64]int)
+	for i := range profiles {
+		for _, t := range profiles[i].Tokens {
+			df[t]++
+		}
+	}
+	n := float64(len(profiles))
+	view := &weightedView{weights: make([][]float64, len(profiles))}
+	for i := range profiles {
+		p := &profiles[i]
+		ws := make([]float64, len(p.Tokens))
+		var norm float64
+		for j, t := range p.Tokens {
+			tf := 1.0
+			if len(p.Freqs) == len(p.Tokens) && p.Count > 0 {
+				tf = float64(p.Freqs[j]) / float64(p.Count)
+			}
+			idf := math.Log(n/float64(df[t])) + 1 // +1 keeps shared-by-all tokens visible
+			w := tf * idf
+			ws[j] = w
+			norm += w * w
+		}
+		if norm > 0 {
+			inv := 1 / math.Sqrt(norm)
+			for j := range ws {
+				ws[j] *= inv
+			}
+		}
+		view.weights[i] = ws
+	}
+	return view
+}
+
+// cosine returns the cosine similarity of profiles i and j under the
+// view: a merge over the sorted token hashes with aligned weights.
+func (v *weightedView) cosine(pi, pj *Profile, i, j int) float64 {
+	a, b := pi.Tokens, pj.Tokens
+	wa, wb := v.weights[i], v.weights[j]
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	dot := 0.0
+	x, y := 0, 0
+	for x < len(a) && y < len(b) {
+		switch {
+		case a[x] == b[y]:
+			dot += wa[x] * wb[y]
+			x++
+			y++
+		case a[x] < b[y]:
+			x++
+		default:
+			y++
+		}
+	}
+	if dot > 1 {
+		return 1 // guard rounding
+	}
+	return dot
+}

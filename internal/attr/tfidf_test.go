@@ -1,0 +1,158 @@
+package attr
+
+import (
+	"math"
+	"testing"
+
+	"blast/internal/datasets"
+	"blast/internal/model"
+	"blast/internal/text"
+)
+
+// tfidfProfiles builds profiles with explicit frequencies.
+func tfidfProfiles(rows []struct {
+	src    int
+	name   string
+	tokens []string
+	freqs  []int
+}) []Profile {
+	ps := make([]Profile, len(rows))
+	for i, r := range rows {
+		ps[i] = Profile{Ref: Ref{Source: r.src, Name: r.name}, Tokens: hashes(r.tokens...)}
+		// hashes() sorts, so align freqs with sorted order by rebuilding.
+		if r.freqs == nil {
+			ps[i].Freqs = make([]int, len(ps[i].Tokens))
+			for j := range ps[i].Freqs {
+				ps[i].Freqs[j] = 1
+			}
+			ps[i].Count = len(ps[i].Tokens)
+		}
+	}
+	return ps
+}
+
+func TestCosineIdenticalProfiles(t *testing.T) {
+	ps := tfidfProfiles([]struct {
+		src    int
+		name   string
+		tokens []string
+		freqs  []int
+	}{
+		{0, "a", []string{"x", "y", "z"}, nil},
+		{1, "b", []string{"x", "y", "z"}, nil},
+	})
+	view := buildTFIDF(ps)
+	if got := view.cosine(&ps[0], &ps[1], 0, 1); math.Abs(got-1) > 1e-9 {
+		t.Errorf("identical cosine = %v, want 1", got)
+	}
+}
+
+func TestCosineDisjointProfiles(t *testing.T) {
+	ps := tfidfProfiles([]struct {
+		src    int
+		name   string
+		tokens []string
+		freqs  []int
+	}{
+		{0, "a", []string{"x", "y"}, nil},
+		{1, "b", []string{"p", "q"}, nil},
+	})
+	view := buildTFIDF(ps)
+	if got := view.cosine(&ps[0], &ps[1], 0, 1); got != 0 {
+		t.Errorf("disjoint cosine = %v, want 0", got)
+	}
+}
+
+func TestTFIDFDiscountsUbiquitousTokens(t *testing.T) {
+	// Four attributes all share "common"; a and b additionally share the
+	// rare "signal" while c and d share nothing else. Under TF-IDF the
+	// a-b similarity must exceed a-c (the ubiquitous token is
+	// discounted); under binary Jaccard they'd be equal (1/3 each... they
+	// are not equal here, so make the sets symmetric).
+	ps := tfidfProfiles([]struct {
+		src    int
+		name   string
+		tokens []string
+		freqs  []int
+	}{
+		{0, "a", []string{"common", "signal", "ax"}, nil},
+		{1, "b", []string{"common", "signal", "bx"}, nil},
+		{0, "c", []string{"common", "cy", "cx"}, nil},
+		{1, "d", []string{"common", "dy", "dx"}, nil},
+	})
+	// Binary Jaccard: sim(a,b) = 2/4 = .5, sim(a,d) = 1/5 = .2.
+	view := buildTFIDF(ps)
+	simAB := view.cosine(&ps[0], &ps[1], 0, 1)
+	simAD := view.cosine(&ps[0], &ps[3], 0, 3)
+	if simAB <= simAD {
+		t.Fatalf("TF-IDF should rank shared-rare above shared-common: %v vs %v", simAB, simAD)
+	}
+	// The ubiquitous-only overlap must be discounted well below the
+	// rare-token overlap, more than the binary ratio (.2/.5).
+	if simAD/simAB > 0.4 {
+		t.Errorf("common-token similarity not discounted enough: %v vs %v", simAD, simAB)
+	}
+}
+
+func TestLMIWithTFIDFRepresentation(t *testing.T) {
+	ds := datasets.PaperExample()
+	profiles := ExtractProfiles(ds, text.NewTokenizer())
+	cfg := DefaultConfig()
+	cfg.Representation = TFIDF
+	part := LMI(profiles, ds.Kind, cfg)
+	// The name attributes must still cluster (TF-IDF preserves the
+	// alignment signal).
+	a, ok1 := part.ClusterOf(0, "FirstName")
+	b, ok2 := part.ClusterOf(0, "full name")
+	if !ok1 || !ok2 || a != b || a == GlueClusterID {
+		t.Errorf("TF-IDF LMI lost the name cluster: %d vs %d", a, b)
+	}
+}
+
+func TestExtractProfilesFillsFreqs(t *testing.T) {
+	e := model.NewCollection("s")
+	p := model.Profile{ID: "1"}
+	p.Add("a", "x x y")
+	e.Append(p)
+	ds := &model.Dataset{Name: "d", Kind: model.Dirty, E1: e, Truth: model.NewGroundTruth()}
+	ps := ExtractProfiles(ds, text.NewTokenizer())
+	if len(ps) != 1 {
+		t.Fatal("want one profile")
+	}
+	if len(ps[0].Freqs) != len(ps[0].Tokens) {
+		t.Fatalf("freqs misaligned: %d vs %d", len(ps[0].Freqs), len(ps[0].Tokens))
+	}
+	total := 0
+	saw2 := false
+	for _, f := range ps[0].Freqs {
+		total += f
+		if f == 2 {
+			saw2 = true
+		}
+	}
+	if total != 3 || !saw2 {
+		t.Errorf("freqs = %v, want counts {2,1}", ps[0].Freqs)
+	}
+}
+
+func TestRepresentationString(t *testing.T) {
+	if Binary.String() != "binary" || TFIDF.String() != "tfidf" {
+		t.Error("Representation.String mismatch")
+	}
+}
+
+func TestCosineEmptyProfile(t *testing.T) {
+	ps := tfidfProfiles([]struct {
+		src    int
+		name   string
+		tokens []string
+		freqs  []int
+	}{
+		{0, "a", nil, nil},
+		{1, "b", []string{"x"}, nil},
+	})
+	view := buildTFIDF(ps)
+	if got := view.cosine(&ps[0], &ps[1], 0, 1); got != 0 {
+		t.Errorf("empty cosine = %v, want 0", got)
+	}
+}

@@ -1,0 +1,121 @@
+package blocking
+
+import (
+	"blast/internal/model"
+	"blast/internal/text"
+)
+
+// KeyFunc maps a token occurrence to a blocking key. source is the index
+// of the collection the profile belongs to (0 for E1, 1 for E2), attr the
+// attribute name the token was extracted from. It returns the key, the
+// entropy h(b) to associate with the key's blocks, and whether the token
+// should be indexed at all.
+//
+// Three key functions cover the paper's blocking techniques:
+//
+//   - Token Blocking: key = token (TokenKey);
+//   - loosely schema-aware Token Blocking: key = token qualified by the
+//     attribute cluster id, entropy = cluster aggregate entropy
+//     (attr.Partitioning.KeyFunc);
+//   - Standard Blocking: key = token qualified by the aligned schema
+//     attribute (SchemaKey).
+type KeyFunc func(source int, attr, token string) (key string, entropy float64, ok bool)
+
+// TokenKey is the schema-agnostic Token Blocking key function: every token
+// is its own key, regardless of the attribute it appears in.
+func TokenKey(source int, attr, token string) (string, float64, bool) {
+	return token, 1, true
+}
+
+// SchemaKey returns a KeyFunc implementing Standard Blocking over a manual
+// schema alignment: tokens are qualified by the aligned attribute id of
+// the attribute they appear in, so only tokens from aligned attributes
+// co-occur in blocks. align maps (source, attribute name) to an alignment
+// id; attributes missing from the map are not indexed.
+func SchemaKey(align map[[2]string]string) KeyFunc {
+	return func(source int, attr, token string) (string, float64, bool) {
+		src := "0"
+		if source == 1 {
+			src = "1"
+		}
+		id, ok := align[[2]string{src, attr}]
+		if !ok {
+			return "", 0, false
+		}
+		return token + "\x1f" + id, 1, true
+	}
+}
+
+// Build constructs a block collection from the dataset by applying the
+// value transformation tr to every attribute value and indexing the
+// resulting terms with key. Each profile enters a block at most once
+// (re-occurrences of a key within a profile are deduplicated). Blocks that
+// entail no comparison — fewer than two profiles, or a one-sided block in
+// clean-clean ER — are dropped. Blocks are returned sorted by key.
+func Build(ds *model.Dataset, tr text.Transform, key KeyFunc) *Collection {
+	type acc struct {
+		p1, p2  []int32
+		entropy float64
+	}
+	index := make(map[string]*acc)
+
+	addProfile := func(global int, source int, p *model.Profile) {
+		seen := make(map[string]bool)
+		for _, pair := range p.Pairs {
+			for _, tok := range tr.Terms(pair.Value) {
+				k, h, ok := key(source, pair.Name, tok)
+				if !ok || seen[k] {
+					continue
+				}
+				seen[k] = true
+				a := index[k]
+				if a == nil {
+					a = &acc{entropy: h}
+					index[k] = a
+				}
+				if source == 0 {
+					a.p1 = append(a.p1, int32(global))
+				} else {
+					a.p2 = append(a.p2, int32(global))
+				}
+			}
+		}
+	}
+
+	for i := range ds.E1.Profiles {
+		addProfile(i, 0, &ds.E1.Profiles[i])
+	}
+	if ds.Kind == model.CleanClean {
+		off := ds.E1.Len()
+		for i := range ds.E2.Profiles {
+			addProfile(off+i, 1, &ds.E2.Profiles[i])
+		}
+	}
+
+	c := &Collection{
+		Kind:        ds.Kind,
+		NumProfiles: ds.NumProfiles(),
+		Split:       ds.Split(),
+	}
+	for k, a := range index {
+		b := Block{Key: k, P1: a.p1, Entropy: a.entropy}
+		if ds.Kind == model.CleanClean {
+			b.P2 = a.p2
+			if b.P2 == nil {
+				b.P2 = []int32{}
+			}
+		}
+		if b.Comparisons() == 0 {
+			continue
+		}
+		c.Blocks = append(c.Blocks, b)
+	}
+	c.sortBlocks()
+	return c
+}
+
+// TokenBlocking builds the paper's baseline: schema-agnostic Token
+// Blocking with the default tokenizer.
+func TokenBlocking(ds *model.Dataset) *Collection {
+	return Build(ds, text.NewTokenizer(), TokenKey)
+}

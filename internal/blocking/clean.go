@@ -1,0 +1,131 @@
+package blocking
+
+import (
+	"math"
+	"sort"
+)
+
+// Purge implements Block Purging as described in Section 4.1 of the BLAST
+// paper: it discards every block that contains more than maxRatio of the
+// entity profiles of the dataset (default 0.5 — "more than half"),
+// removing the blocks that correspond to highly frequent, stop-word-like
+// blocking keys. It returns a new collection; the input is not modified.
+func Purge(c *Collection, maxRatio float64) *Collection {
+	if maxRatio <= 0 {
+		maxRatio = 0.5
+	}
+	limit := maxRatio * float64(c.NumProfiles)
+	out := &Collection{Kind: c.Kind, NumProfiles: c.NumProfiles, Split: c.Split}
+	for i := range c.Blocks {
+		b := c.Blocks[i]
+		if float64(b.Size()) > limit {
+			continue
+		}
+		out.Blocks = append(out.Blocks, b)
+	}
+	return out
+}
+
+// PurgeByCardinality is the comparison-cardinality-driven Block Purging of
+// Papadakis et al. (TKDE'13): blocks are processed in order of decreasing
+// ||b|| and a cutoff is chosen where the marginal gain in comparison count
+// stops paying for itself — concretely, it finds the smallest cardinality
+// limit such that dropping all blocks with ||b|| above it loses no block
+// whose ||b|| is below maxPairsPerBlock. It is provided as an extension
+// point; the BLAST evaluation uses the size-ratio Purge above.
+func PurgeByCardinality(c *Collection, maxPairsPerBlock int64) *Collection {
+	if maxPairsPerBlock <= 0 {
+		return c.Clone()
+	}
+	out := &Collection{Kind: c.Kind, NumProfiles: c.NumProfiles, Split: c.Split}
+	for i := range c.Blocks {
+		b := c.Blocks[i]
+		if b.Comparisons() > maxPairsPerBlock {
+			continue
+		}
+		out.Blocks = append(out.Blocks, b)
+	}
+	return out
+}
+
+// Filter implements Block Filtering (Papadakis et al., EDBT'16; used by
+// BLAST with ratio 0.8): each profile keeps only the keepRatio most
+// important of its blocks — importance being inverse block cardinality,
+// i.e. smaller blocks are more significant — and is removed from the
+// rest. Blocks left with no valid comparison are dropped. It returns a
+// new collection; the input is not modified.
+func Filter(c *Collection, keepRatio float64) *Collection {
+	if keepRatio <= 0 || keepRatio > 1 {
+		keepRatio = 0.8
+	}
+	// Rank blocks by ascending comparison cardinality; ties by key order
+	// (block index) for determinism.
+	order := make([]int32, len(c.Blocks))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		bi, bj := &c.Blocks[order[i]], &c.Blocks[order[j]]
+		ci, cj := bi.Comparisons(), bj.Comparisons()
+		if ci != cj {
+			return ci < cj
+		}
+		return order[i] < order[j]
+	})
+	rank := make([]int32, len(c.Blocks))
+	for r, id := range order {
+		rank[id] = int32(r)
+	}
+
+	// For every profile, sort its block list by the global rank and keep
+	// the first ceil(keepRatio * |B_i|).
+	perProfile := c.BlocksOfProfiles()
+	keep := make(map[int64]struct{}) // (blockID<<32 | profileID) memberships kept
+	for p, blocks := range perProfile {
+		if len(blocks) == 0 {
+			continue
+		}
+		sort.Slice(blocks, func(i, j int) bool { return rank[blocks[i]] < rank[blocks[j]] })
+		k := int(math.Ceil(keepRatio * float64(len(blocks))))
+		if k < 1 {
+			k = 1
+		}
+		if k > len(blocks) {
+			k = len(blocks)
+		}
+		for _, bid := range blocks[:k] {
+			keep[int64(bid)<<32|int64(p)] = struct{}{}
+		}
+	}
+
+	out := &Collection{Kind: c.Kind, NumProfiles: c.NumProfiles, Split: c.Split}
+	for i := range c.Blocks {
+		b := &c.Blocks[i]
+		nb := Block{Key: b.Key, Entropy: b.Entropy}
+		for _, p := range b.P1 {
+			if _, ok := keep[int64(i)<<32|int64(p)]; ok {
+				nb.P1 = append(nb.P1, p)
+			}
+		}
+		if b.P2 != nil {
+			nb.P2 = []int32{}
+			for _, p := range b.P2 {
+				if _, ok := keep[int64(i)<<32|int64(p)]; ok {
+					nb.P2 = append(nb.P2, p)
+				}
+			}
+		}
+		if nb.Comparisons() == 0 {
+			continue
+		}
+		out.Blocks = append(out.Blocks, nb)
+	}
+	return out
+}
+
+// CleanWorkflow applies the paper's preprocessing pipeline to a freshly
+// built block collection: Block Purging (ratio purgeRatio, default 0.5)
+// followed by Block Filtering (ratio filterRatio, default 0.8).
+func CleanWorkflow(c *Collection, purgeRatio, filterRatio float64) *Collection {
+	return Filter(Purge(c, purgeRatio), filterRatio)
+}

@@ -1,0 +1,194 @@
+// Package blocking implements the redundancy-positive blocking substrate
+// of BLAST: Token Blocking (schema-agnostic), its loosely schema-aware and
+// schema-based variants (driven by a pluggable key function), and the two
+// block-cleaning steps of the paper's workflow, Block Purging and Block
+// Filtering (Section 4.1).
+package blocking
+
+import (
+	"fmt"
+	"sort"
+
+	"blast/internal/model"
+)
+
+// Block is a set of profiles indexed under one blocking key. For
+// clean-clean ER the two sides are kept separate (P1 from E1, P2 from E2)
+// because only cross-source comparisons are valid; dirty ER uses P1 only.
+type Block struct {
+	// Key is the blocking key that produced the block.
+	Key string
+	// P1 holds global profile ids from E1 (or all profiles for dirty ER).
+	P1 []int32
+	// P2 holds global profile ids from E2; nil for dirty ER.
+	P2 []int32
+	// Entropy is h(b): the aggregate entropy of the attribute cluster the
+	// key was derived from (Section 3.1.3). Schema-agnostic blocking sets
+	// it to 1 so that entropy-weighted schemes degrade gracefully.
+	Entropy float64
+}
+
+// Size returns the number of profiles in the block.
+func (b *Block) Size() int { return len(b.P1) + len(b.P2) }
+
+// Comparisons returns ||b||, the number of comparisons the block entails:
+// |P1|*|P2| for clean-clean blocks, n*(n-1)/2 for dirty blocks.
+func (b *Block) Comparisons() int64 {
+	if b.P2 != nil {
+		return int64(len(b.P1)) * int64(len(b.P2))
+	}
+	n := int64(len(b.P1))
+	return n * (n - 1) / 2
+}
+
+// ForEachPair invokes fn for every comparison (u, v) entailed by the
+// block, with u < v in global-id order for dirty blocks and u from E1,
+// v from E2 for clean-clean blocks.
+func (b *Block) ForEachPair(fn func(u, v int32)) {
+	if b.P2 != nil {
+		for _, u := range b.P1 {
+			for _, v := range b.P2 {
+				fn(u, v)
+			}
+		}
+		return
+	}
+	for i := 0; i < len(b.P1); i++ {
+		for j := i + 1; j < len(b.P1); j++ {
+			fn(b.P1[i], b.P1[j])
+		}
+	}
+}
+
+// Collection is a block collection B together with the dataset geometry
+// needed to interpret profile ids.
+type Collection struct {
+	// Kind records whether blocks are clean-clean or dirty.
+	Kind model.Kind
+	// NumProfiles is the total number of profiles of the dataset.
+	NumProfiles int
+	// Split is the global id of the first E2 profile (clean-clean only).
+	Split int
+	// Blocks holds the blocks sorted by key (deterministic order).
+	Blocks []Block
+}
+
+// Len returns |B|, the number of blocks.
+func (c *Collection) Len() int { return len(c.Blocks) }
+
+// AggregateCardinality returns ||B|| = sum of per-block comparisons
+// (double-counting pairs that co-occur in several blocks, as the paper's
+// PQ denominator does).
+func (c *Collection) AggregateCardinality() int64 {
+	var n int64
+	for i := range c.Blocks {
+		n += c.Blocks[i].Comparisons()
+	}
+	return n
+}
+
+// ProfileBlockCounts returns |B_i| for every profile: the number of blocks
+// each profile appears in.
+func (c *Collection) ProfileBlockCounts() []int32 {
+	counts := make([]int32, c.NumProfiles)
+	for i := range c.Blocks {
+		b := &c.Blocks[i]
+		for _, p := range b.P1 {
+			counts[p]++
+		}
+		for _, p := range b.P2 {
+			counts[p]++
+		}
+	}
+	return counts
+}
+
+// BlocksOfProfiles returns, for every profile, the indexes of the blocks
+// it belongs to.
+func (c *Collection) BlocksOfProfiles() [][]int32 {
+	out := make([][]int32, c.NumProfiles)
+	for i := range c.Blocks {
+		b := &c.Blocks[i]
+		for _, p := range b.P1 {
+			out[p] = append(out[p], int32(i))
+		}
+		for _, p := range b.P2 {
+			out[p] = append(out[p], int32(i))
+		}
+	}
+	return out
+}
+
+// DistinctPairs returns the set of distinct comparisons entailed by the
+// collection, keyed by model.IDPair.Key. Useful for PC computation and
+// small-scale analyses; cost is proportional to ||B||.
+func (c *Collection) DistinctPairs() map[uint64]struct{} {
+	set := make(map[uint64]struct{})
+	for i := range c.Blocks {
+		c.Blocks[i].ForEachPair(func(u, v int32) {
+			set[model.MakePair(int(u), int(v)).Key()] = struct{}{}
+		})
+	}
+	return set
+}
+
+// Clone returns a deep copy of the collection (blocks and id slices).
+func (c *Collection) Clone() *Collection {
+	out := &Collection{Kind: c.Kind, NumProfiles: c.NumProfiles, Split: c.Split}
+	out.Blocks = make([]Block, len(c.Blocks))
+	for i := range c.Blocks {
+		b := c.Blocks[i]
+		nb := Block{Key: b.Key, Entropy: b.Entropy}
+		nb.P1 = append([]int32(nil), b.P1...)
+		if b.P2 != nil {
+			nb.P2 = append([]int32(nil), b.P2...)
+		}
+		out.Blocks[i] = nb
+	}
+	return out
+}
+
+// sortBlocks orders blocks by key for deterministic output.
+func (c *Collection) sortBlocks() {
+	sort.Slice(c.Blocks, func(i, j int) bool { return c.Blocks[i].Key < c.Blocks[j].Key })
+}
+
+// Validate checks structural invariants: ids in range, sides consistent
+// with the kind, no duplicate profile within a block side.
+func (c *Collection) Validate() error {
+	for i := range c.Blocks {
+		b := &c.Blocks[i]
+		if c.Kind == model.Dirty && b.P2 != nil {
+			return fmt.Errorf("blocking: dirty block %q has P2", b.Key)
+		}
+		if c.Kind == model.CleanClean && b.P2 == nil {
+			return fmt.Errorf("blocking: clean-clean block %q lacks P2", b.Key)
+		}
+		seen := make(map[int32]bool, b.Size())
+		check := func(ids []int32, side int) error {
+			for _, p := range ids {
+				if int(p) < 0 || int(p) >= c.NumProfiles {
+					return fmt.Errorf("blocking: block %q id %d out of range", b.Key, p)
+				}
+				if c.Kind == model.CleanClean {
+					inE2 := int(p) >= c.Split
+					if (side == 1) != inE2 {
+						return fmt.Errorf("blocking: block %q id %d on wrong side", b.Key, p)
+					}
+				}
+				if seen[p] {
+					return fmt.Errorf("blocking: block %q repeats id %d", b.Key, p)
+				}
+				seen[p] = true
+			}
+			return nil
+		}
+		if err := check(b.P1, 0); err != nil {
+			return err
+		}
+		if err := check(b.P2, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,294 @@
+package datasets
+
+import (
+	"fmt"
+	"math"
+
+	"blast/internal/model"
+)
+
+// buildClean assembles a clean-clean dataset: m latent entities appear in
+// both sources (the duplicates D_E), the remainder of each source is
+// filled with singletons. Profiles are shuffled so ids carry no signal.
+func (g *generator) buildClean(name string, n1, n2, m int, schema1, schema2 []attrMap, nz1, nz2 noise) *model.Dataset {
+	if m > n1 {
+		m = n1
+	}
+	if m > n2 {
+		m = n2
+	}
+	matched := make([]*latent, m)
+	for i := range matched {
+		matched[i] = g.entity()
+	}
+
+	mk := func(src string, n int, schema []attrMap, nz noise) (*model.Collection, []int) {
+		profiles := make([]model.Profile, 0, n)
+		owner := make([]int, 0, n) // latent index, or -1 for singleton
+		for i := 0; i < m; i++ {
+			profiles = append(profiles, g.render(matched[i], schema, nz, fmt.Sprintf("%s-%s-%d", name, src, i)))
+			owner = append(owner, i)
+		}
+		for i := m; i < n; i++ {
+			l := g.entity()
+			profiles = append(profiles, g.render(l, schema, nz, fmt.Sprintf("%s-%s-%d", name, src, i)))
+			owner = append(owner, -1)
+		}
+		g.rng.Shuffle(len(profiles), func(a, b int) {
+			profiles[a], profiles[b] = profiles[b], profiles[a]
+			owner[a], owner[b] = owner[b], owner[a]
+		})
+		// Re-identify by final position so external ids carry no hint of
+		// which profiles match.
+		for i := range profiles {
+			profiles[i].ID = fmt.Sprintf("%s-%d", src, i)
+		}
+		c := model.NewCollection(src)
+		c.Profiles = profiles
+		return c, owner
+	}
+
+	e1, own1 := mk(name+"A", n1, schema1, nz1)
+	e2, own2 := mk(name+"B", n2, schema2, nz2)
+
+	pos1 := make([]int, m)
+	pos2 := make([]int, m)
+	for i, o := range own1 {
+		if o >= 0 {
+			pos1[o] = i
+		}
+	}
+	for i, o := range own2 {
+		if o >= 0 {
+			pos2[o] = i
+		}
+	}
+	truth := model.NewGroundTruth()
+	for i := 0; i < m; i++ {
+		truth.Add(pos1[i], n1+pos2[i])
+	}
+	return &model.Dataset{Name: name, Kind: model.CleanClean, E1: e1, E2: e2, Truth: truth}
+}
+
+// AR1 reproduces the shape of the DBLP-ACM benchmark (Table 2 "ar1"):
+// fully mappable bibliographic schemas of 4 attributes each, 2.6k x 2.3k
+// profiles and 2.2k duplicates at scale 1. Clean, low-noise data.
+func AR1(scale float64, seed uint64) *model.Dataset {
+	g := newGenerator(seed ^ 0xa51)
+	g.addField(&field{name: "title", vocab: newVocab(g.rng, 11, 2200, 1.0), minTokens: 5, maxTokens: 10})
+	g.addField(&field{name: "authors", vocab: newVocab(g.rng, 12, 900, 0.7), minTokens: 2, maxTokens: 5, identity: true})
+	g.addField(&field{name: "venue", vocab: newVocab(g.rng, 13, 60, 0.8), minTokens: 1, maxTokens: 3})
+	g.addField(&field{name: "year", numeric: true, numLo: 1975, numHi: 2009})
+
+	s1 := []attrMap{
+		{attr: "title", field: "title"},
+		{attr: "authors", field: "authors"},
+		{attr: "venue", field: "venue"},
+		{attr: "year", field: "year"},
+	}
+	s2 := []attrMap{
+		{attr: "name", field: "title"},
+		{attr: "author list", field: "authors"},
+		{attr: "booktitle", field: "venue"},
+		{attr: "date", field: "year"},
+	}
+	nz1 := noise{dropToken: 0.03, typo: 0.02, extraToken: 0.05}
+	nz2 := noise{dropToken: 0.06, abbreviate: 0.05, typo: 0.03, twoDigitYear: 0.2, extraToken: 0.05}
+	return g.buildClean("ar1", scaled(2600, scale), scaled(2300, scale), scaled(2200, scale), s1, s2, nz1, nz2)
+}
+
+// AR2 reproduces DBLP-Scholar ("ar2"): fully mappable, but the second
+// source is an order of magnitude larger (2.5k x 61k, 2.3k duplicates at
+// scale 1) and much noisier (Scholar's crawled metadata: abbreviations,
+// missing venues, truncated author lists).
+func AR2(scale float64, seed uint64) *model.Dataset {
+	g := newGenerator(seed ^ 0xa52)
+	g.addField(&field{name: "title", vocab: newVocab(g.rng, 21, 6000, 1.0), minTokens: 5, maxTokens: 11})
+	g.addField(&field{name: "authors", vocab: newVocab(g.rng, 22, 2500, 0.7), minTokens: 2, maxTokens: 5, identity: true})
+	g.addField(&field{name: "venue", vocab: newVocab(g.rng, 23, 120, 0.8), minTokens: 1, maxTokens: 3})
+	g.addField(&field{name: "year", numeric: true, numLo: 1970, numHi: 2010})
+
+	s1 := []attrMap{
+		{attr: "title", field: "title"},
+		{attr: "authors", field: "authors"},
+		{attr: "venue", field: "venue"},
+		{attr: "year", field: "year"},
+	}
+	s2 := []attrMap{
+		{attr: "title", field: "title"},
+		{attr: "author", field: "authors"},
+		{attr: "publication", field: "venue"},
+		{attr: "year", field: "year"},
+	}
+	nz1 := noise{dropToken: 0.03, typo: 0.02, extraToken: 0.04}
+	nz2 := noise{dropToken: 0.12, abbreviate: 0.15, typo: 0.05, dropAttr: 0.15, twoDigitYear: 0.25, extraToken: 0.08}
+	return g.buildClean("ar2", scaled(2500, scale), scaled(61000, scale), scaled(2300, scale), s1, s2, nz1, nz2)
+}
+
+// PRD reproduces Abt-Buy ("prd"): fully mappable e-commerce catalogs,
+// 1.1k x 1.1k with 1.1k duplicates at scale 1. Short names, verbose
+// descriptions, brand vocabulary shared across many products (low
+// selectivity), prices rarely matching exactly.
+func PRD(scale float64, seed uint64) *model.Dataset {
+	g := newGenerator(seed ^ 0xbdd)
+	g.addField(&field{name: "pname", vocab: newVocab(g.rng, 31, 1400, 0.8), minTokens: 2, maxTokens: 5, identity: true})
+	g.addField(&field{name: "descr", vocab: newVocab(g.rng, 32, 2600, 1.1), minTokens: 8, maxTokens: 18})
+	g.addField(&field{name: "brand", vocab: newVocab(g.rng, 33, 40, 0.9), minTokens: 1, maxTokens: 1})
+	g.addField(&field{name: "price", numeric: true, numLo: 10, numHi: 2500})
+
+	s1 := []attrMap{
+		{attr: "name", field: "pname", merge: []string{"brand"}},
+		{attr: "description", field: "descr"},
+		{attr: "manufacturer", field: "brand"},
+		{attr: "price", field: "price"},
+	}
+	s2 := []attrMap{
+		{attr: "title", field: "pname", merge: []string{"brand"}},
+		{attr: "features", field: "descr"},
+		{attr: "brand", field: "brand"},
+		{attr: "cost", field: "price"},
+	}
+	nz1 := noise{dropToken: 0.08, typo: 0.03, extraToken: 0.10}
+	nz2 := noise{dropToken: 0.15, abbreviate: 0.06, typo: 0.04, dropAttr: 0.10, extraToken: 0.12}
+	return g.buildClean("prd", scaled(1100, scale), scaled(1100, scale), scaled(1100, scale), s1, s2, nz1, nz2)
+}
+
+// MOV reproduces IMDB-DBpedia ("mov"): partially mappable (4 vs 7
+// attributes, 0:n associations), 28k x 23k with 23k duplicates at
+// scale 1. The DBpedia side carries attributes with no IMDB counterpart,
+// filled from the ambient vocabulary.
+func MOV(scale float64, seed uint64) *model.Dataset {
+	g := newGenerator(seed ^ 0x30f)
+	g.addField(&field{name: "title", vocab: newVocab(g.rng, 41, 8000, 1.0), minTokens: 1, maxTokens: 4, identity: true})
+	g.addField(&field{name: "director", vocab: newVocab(g.rng, 42, 3000, 0.7), minTokens: 2, maxTokens: 2, identity: true})
+	g.addField(&field{name: "actors", vocab: newVocab(g.rng, 43, 6000, 0.7), minTokens: 4, maxTokens: 8, identity: true})
+	g.addField(&field{name: "year", numeric: true, numLo: 1925, numHi: 2012})
+
+	s1 := []attrMap{
+		{attr: "title", field: "title"},
+		{attr: "director", field: "director"},
+		{attr: "cast", field: "actors"},
+		{attr: "year", field: "year"},
+	}
+	s2 := []attrMap{
+		{attr: "name", field: "title"},
+		{attr: "directed by", field: "director"},
+		{attr: "starring", field: "actors"},
+		{attr: "released", field: "year"},
+		{attr: "runtime", ambient: true},
+		{attr: "genre", ambient: true},
+		{attr: "country", ambient: true},
+	}
+	nz1 := noise{dropToken: 0.05, typo: 0.02, extraToken: 0.05}
+	nz2 := noise{dropToken: 0.10, abbreviate: 0.04, typo: 0.04, dropAttr: 0.12, twoDigitYear: 0.1, extraToken: 0.08}
+	return g.buildClean("mov", scaled(28000, scale), scaled(23000, scale), scaled(23000, scale), s1, s2, nz1, nz2)
+}
+
+// DBP reproduces the DBpedia 2007-2009 snapshots ("dbp"): both sides are
+// wide, sparse infobox-style schemas (30k and 50k attributes at paper
+// scale; the generator scales attribute counts with the square root of
+// scale to keep per-attribute support realistic), only ~25% of nvp
+// shared, 1.2M x 2.2M profiles and 893k duplicates at scale 1. A core of
+// mappable fields carries the matching signal; every profile additionally
+// holds several source-private attributes.
+func DBP(scale float64, seed uint64) *model.Dataset {
+	g := newGenerator(seed ^ 0xdb9)
+	core := []string{"label", "type", "place", "person", "work", "date"}
+	vocSizes := []int{9000, 80, 2500, 5000, 6000, 0}
+	for i, name := range core {
+		if name == "date" {
+			g.addField(&field{name: name, numeric: true, numLo: 1800, numHi: 2009})
+			continue
+		}
+		g.addField(&field{
+			name: name, vocab: newVocab(g.rng, uint64(50+i), vocSizes[i], 0.9),
+			minTokens: 1, maxTokens: 4, identity: i != 1,
+		})
+	}
+
+	// Attribute pools: names for the long tail of infobox properties.
+	// Attribute counts grow with sqrt(scale) so per-attribute support
+	// stays realistic as profile counts shrink.
+	sqrtScale := math.Sqrt(math.Max(scale, 1e-4))
+	nAttrs1 := clamp(scaled(30000, sqrtScale*0.08), 40, 3000)
+	nAttrs2 := clamp(scaled(50000, sqrtScale*0.08), 60, 5000)
+	pool1 := make([]string, nAttrs1)
+	for i := range pool1 {
+		pool1[i] = "prop07 " + synthWord(71, i)
+	}
+	pool2 := make([]string, nAttrs2)
+	for i := range pool2 {
+		pool2[i] = "prop09 " + synthWord(72, i)
+	}
+	// A fraction of the 2009 pool aliases the 2007 pool (shared
+	// properties surviving the snapshot change).
+	for i := 0; i < nAttrs2/4 && i < nAttrs1; i++ {
+		pool2[i] = pool1[i]
+	}
+
+	s1 := []attrMap{
+		{attr: "rdfs:label", field: "label"},
+		{attr: "rdf:type", field: "type"},
+		{attr: "dbp:place", field: "place"},
+		{attr: "dbp:person", field: "person"},
+		{attr: "dbp:work", field: "work"},
+		{attr: "dbp:date", field: "date"},
+	}
+	s2 := []attrMap{
+		{attr: "label", field: "label"},
+		{attr: "22-rdf-syntax-ns#type", field: "type"},
+		{attr: "ontology/place", field: "place"},
+		{attr: "ontology/person", field: "person"},
+		{attr: "ontology/work", field: "work"},
+		{attr: "ontology/date", field: "date"},
+	}
+	nz1 := noise{dropToken: 0.05, typo: 0.02, dropAttr: 0.25, extraToken: 0.06}
+	nz2 := noise{dropToken: 0.10, abbreviate: 0.03, typo: 0.04, dropAttr: 0.35, extraToken: 0.08}
+
+	// Profile counts: capped so that scale 1 stays laptop-runnable; the
+	// published sizes are unreachable without the paper's 40 GB heap.
+	n1 := clamp(scaled(1200000, scale*0.02), 60, 40000)
+	n2 := clamp(scaled(2200000, scale*0.02), 80, 70000)
+	m := clamp(scaled(893000, scale*0.02), 40, 30000)
+	ds := g.buildClean("dbp", n1, n2, m, s1, s2, nz1, nz2)
+
+	// Append the sparse private attributes per profile.
+	appendTail := func(c *model.Collection, pool []string) {
+		for i := range c.Profiles {
+			k := 2 + g.rng.Intn(6)
+			for j := 0; j < k; j++ {
+				attr := pool[g.rng.Intn(len(pool))]
+				n := 1 + g.rng.Intn(3)
+				toks := make([]string, n)
+				for t := 0; t < n; t++ {
+					toks[t] = g.ambient.draw()
+				}
+				c.Profiles[i].Add(attr, joinTokens(toks))
+			}
+		}
+	}
+	appendTail(ds.E1, pool1)
+	appendTail(ds.E2, pool2)
+	return ds
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func joinTokens(toks []string) string {
+	out := ""
+	for i, t := range toks {
+		if i > 0 {
+			out += " "
+		}
+		out += t
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package datasets
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"blast/internal/model"
+)
+
+// WriteCollection serializes a collection as long-form CSV triples
+// (id, attribute, value), the interchange format of cmd/datagen. The
+// format handles heterogeneous schemas naturally: profiles simply emit
+// one row per name-value pair.
+func WriteCollection(w io.Writer, c *model.Collection) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "attribute", "value"}); err != nil {
+		return fmt.Errorf("datasets: write header: %w", err)
+	}
+	for i := range c.Profiles {
+		p := &c.Profiles[i]
+		if len(p.Pairs) == 0 {
+			// Preserve empty profiles with a sentinel row.
+			if err := cw.Write([]string{p.ID, "", ""}); err != nil {
+				return fmt.Errorf("datasets: write profile %q: %w", p.ID, err)
+			}
+			continue
+		}
+		for _, pair := range p.Pairs {
+			if err := cw.Write([]string{p.ID, pair.Name, pair.Value}); err != nil {
+				return fmt.Errorf("datasets: write profile %q: %w", p.ID, err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCollection parses long-form CSV triples back into a collection.
+// Rows with the same id must be contiguous or not — grouping is by id
+// value, first-appearance order is preserved.
+func ReadCollection(r io.Reader, name string) (*model.Collection, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("datasets: read csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return model.NewCollection(name), nil
+	}
+	start := 0
+	if rows[0][0] == "id" && rows[0][1] == "attribute" {
+		start = 1
+	}
+	c := model.NewCollection(name)
+	index := make(map[string]int)
+	for _, row := range rows[start:] {
+		id := row[0]
+		pos, ok := index[id]
+		if !ok {
+			pos = c.Append(model.Profile{ID: id})
+			index[id] = pos
+		}
+		if row[1] == "" && row[2] == "" {
+			continue // empty-profile sentinel
+		}
+		c.Profiles[pos].Add(row[1], row[2])
+	}
+	return c, nil
+}
+
+// WriteTruth serializes ground truth as (id1, id2) external-ID pairs.
+func WriteTruth(w io.Writer, ds *model.Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id1", "id2"}); err != nil {
+		return fmt.Errorf("datasets: write truth header: %w", err)
+	}
+	for _, p := range ds.Truth.Pairs() {
+		a := ds.Profile(int(p.U)).ID
+		b := ds.Profile(int(p.V)).ID
+		if err := cw.Write([]string{a, b}); err != nil {
+			return fmt.Errorf("datasets: write truth pair: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTruth parses external-ID pairs into a ground truth over the global
+// ids of the dataset's collections. Unknown ids are an error.
+func ReadTruth(r io.Reader, ds *model.Dataset) (*model.GroundTruth, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("datasets: read truth: %w", err)
+	}
+	lookup := make(map[string]int, ds.NumProfiles())
+	for i := 0; i < ds.NumProfiles(); i++ {
+		lookup[ds.Profile(i).ID] = i
+	}
+	start := 0
+	if len(rows) > 0 && rows[0][0] == "id1" {
+		start = 1
+	}
+	g := model.NewGroundTruth()
+	for _, row := range rows[start:] {
+		u, ok1 := lookup[row[0]]
+		v, ok2 := lookup[row[1]]
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("datasets: truth references unknown id %q/%q", row[0], row[1])
+		}
+		g.Add(u, v)
+	}
+	return g, nil
+}

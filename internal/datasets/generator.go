@@ -1,0 +1,184 @@
+package datasets
+
+import (
+	"strconv"
+	"strings"
+
+	"blast/internal/model"
+	"blast/internal/stats"
+)
+
+// field describes one canonical field of a latent entity: how many tokens
+// a value has and which vocabulary they come from. Latent entities hold
+// the clean values; sources render them through their own schema with
+// noise.
+type field struct {
+	// name is the canonical field name (not the attribute name — those
+	// are per-source).
+	name string
+	// vocab supplies the tokens.
+	vocab *vocab
+	// minTokens/maxTokens bound the value length.
+	minTokens, maxTokens int
+	// numeric, when true, renders values as numbers from vocabRange
+	// instead of words (e.g. year, price).
+	numeric bool
+	numLo   int
+	numHi   int
+	// identity, when true, draws tokens uniquely per entity (names,
+	// model numbers) rather than Zipfian (descriptions).
+	identity bool
+}
+
+// latent is one real-world entity: clean token lists per field.
+type latent struct {
+	values map[string][]string
+}
+
+// noise is the per-source perturbation profile. Probabilities are
+// applied per token or per attribute as noted.
+type noise struct {
+	dropToken    float64 // token omitted
+	abbreviate   float64 // token truncated to a 1-3 letter prefix
+	typo         float64 // two adjacent letters swapped
+	dropAttr     float64 // whole attribute missing from the profile
+	twoDigitYear float64 // numeric year rendered as two digits
+	extraToken   float64 // stray token from the ambient vocabulary
+}
+
+// attrMap projects a canonical field into a source attribute. merge
+// lists additional fields concatenated into the same attribute ("full
+// name" style); an empty field with ambient=true yields source-private
+// attributes filled from the ambient vocabulary (unmappable attributes
+// of partially-mappable datasets).
+type attrMap struct {
+	attr    string
+	field   string
+	merge   []string
+	ambient bool
+}
+
+// generator carries the shared machinery for building one dataset.
+type generator struct {
+	rng *stats.RNG
+	// fields is insertion-ordered: entity synthesis draws from the RNG
+	// per field, so iteration order must be deterministic (a map's is
+	// not).
+	fields  []*field
+	ambient *vocab // cross-field vocabulary creating token collisions
+	counter int
+}
+
+func newGenerator(seed uint64) *generator {
+	rng := stats.NewRNG(seed)
+	return &generator{
+		rng:     rng,
+		ambient: newVocab(rng, 0xa3b1e7, 400, 0.9),
+	}
+}
+
+// addField registers a canonical field.
+func (g *generator) addField(f *field) { g.fields = append(g.fields, f) }
+
+// entity synthesizes one latent entity: clean values for every field.
+func (g *generator) entity() *latent {
+	g.counter++
+	l := &latent{values: make(map[string][]string, len(g.fields))}
+	for _, f := range g.fields {
+		name := f.name
+		n := f.minTokens
+		if f.maxTokens > f.minTokens {
+			n += g.rng.Intn(f.maxTokens - f.minTokens + 1)
+		}
+		if f.numeric {
+			v := f.numLo
+			if f.numHi > f.numLo {
+				v += g.rng.Intn(f.numHi - f.numLo + 1)
+			}
+			l.values[name] = []string{strconv.Itoa(v)}
+			continue
+		}
+		toks := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			if f.identity {
+				// Unique-ish identity tokens: spread entities across the
+				// vocabulary with a per-entity offset.
+				toks = append(toks, f.vocab.at(g.counter*7+i*13+g.rng.Intn(3)))
+			} else {
+				toks = append(toks, f.vocab.draw())
+			}
+		}
+		l.values[name] = toks
+	}
+	return l
+}
+
+// render projects a latent entity into a profile under a source schema,
+// applying noise. The profile ID encodes the source and a running index.
+func (g *generator) render(l *latent, schema []attrMap, nz noise, id string) model.Profile {
+	p := model.Profile{ID: id}
+	for _, am := range schema {
+		if nz.dropAttr > 0 && g.rng.Float64() < nz.dropAttr {
+			continue
+		}
+		var toks []string
+		if am.ambient {
+			n := 1 + g.rng.Intn(3)
+			for i := 0; i < n; i++ {
+				toks = append(toks, g.ambient.draw())
+			}
+		} else {
+			toks = append(toks, l.values[am.field]...)
+			for _, m := range am.merge {
+				toks = append(toks, l.values[m]...)
+			}
+		}
+		out := make([]string, 0, len(toks)+1)
+		for _, tok := range toks {
+			if nz.dropToken > 0 && len(toks) > 1 && g.rng.Float64() < nz.dropToken {
+				continue
+			}
+			if isYear(tok) && nz.twoDigitYear > 0 && g.rng.Float64() < nz.twoDigitYear {
+				tok = tok[2:]
+			} else if nz.abbreviate > 0 && len(tok) > 3 && g.rng.Float64() < nz.abbreviate {
+				tok = tok[:1+g.rng.Intn(3)]
+			} else if nz.typo > 0 && len(tok) > 3 && g.rng.Float64() < nz.typo {
+				b := []byte(tok)
+				i := 1 + g.rng.Intn(len(b)-2)
+				b[i], b[i+1] = b[i+1], b[i]
+				tok = string(b)
+			}
+			out = append(out, tok)
+		}
+		if nz.extraToken > 0 && g.rng.Float64() < nz.extraToken {
+			out = append(out, g.ambient.draw())
+		}
+		if len(out) == 0 {
+			continue
+		}
+		p.Add(am.attr, strings.Join(out, " "))
+	}
+	return p
+}
+
+// isYear reports whether tok looks like a 4-digit year.
+func isYear(tok string) bool {
+	if len(tok) != 4 {
+		return false
+	}
+	for _, c := range tok {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return tok[0] == '1' || tok[0] == '2'
+}
+
+// scaled returns max(1, round(n*scale)).
+func scaled(n int, scale float64) int {
+	v := int(float64(n)*scale + 0.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}

@@ -1,0 +1,65 @@
+package datasets
+
+import (
+	"strconv"
+
+	"blast/internal/stats"
+)
+
+// vocab is a pool of synthetic words with a Zipfian rank distribution,
+// mirroring the frequency skew of real text (a few very common tokens —
+// the stop-word-like blocking keys Block Purging removes — and a long
+// tail of rare, highly selective ones).
+type vocab struct {
+	words []string
+	zipf  *stats.Zipf
+}
+
+// syllables used to synthesize pronounceable deterministic pseudo-words.
+var (
+	onsets  = []string{"b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z", "br", "ch", "cl", "gr", "pr", "sh", "st", "th", "tr"}
+	nuclei  = []string{"a", "e", "i", "o", "u", "ai", "ea", "io", "ou"}
+	codas   = []string{"", "", "", "n", "r", "s", "t", "l", "m", "nd", "rt", "st"}
+	minSyll = 2
+)
+
+// synthWord deterministically builds the i-th word of a namespace. Words
+// of different namespaces never collide because the namespace is mixed
+// into the syllable selection.
+func synthWord(namespace uint64, i int) string {
+	r := stats.NewRNG(namespace*0x9e3779b97f4a7c15 + uint64(i) + 1)
+	n := minSyll + r.Intn(2)
+	var w []byte
+	for s := 0; s < n; s++ {
+		w = append(w, onsets[r.Intn(len(onsets))]...)
+		w = append(w, nuclei[r.Intn(len(nuclei))]...)
+		w = append(w, codas[r.Intn(len(codas))]...)
+	}
+	// Suffix the namespace and index so vocabularies are disjoint by
+	// construction even on syllable collisions; the suffix also keeps
+	// every word unique within its vocabulary.
+	return string(w) + strconv.FormatUint(namespace%97, 36) + strconv.Itoa(i)
+}
+
+// newVocab builds a vocabulary of size words under the given namespace
+// with Zipf exponent s (1.0 ~ natural text; smaller = flatter).
+func newVocab(rng *stats.RNG, namespace uint64, size int, s float64) *vocab {
+	if size < 1 {
+		size = 1
+	}
+	words := make([]string, size)
+	for i := range words {
+		words[i] = synthWord(namespace, i)
+	}
+	return &vocab{words: words, zipf: stats.NewZipf(rng, s, size)}
+}
+
+// draw samples one word (Zipfian).
+func (v *vocab) draw() string { return v.words[v.zipf.Draw()] }
+
+// at returns the i-th word (for deterministic identities such as person
+// names attached to a latent entity).
+func (v *vocab) at(i int) string { return v.words[i%len(v.words)] }
+
+// size returns the vocabulary size.
+func (v *vocab) size() int { return len(v.words) }

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"blast/internal/attr"
+	"blast/internal/blocking"
+	"blast/internal/datasets"
+	"blast/internal/metablocking"
+	"blast/internal/metrics"
+	"blast/internal/text"
+)
+
+// StandardRow compares BLAST over LMI blocks against BLAST adapted to
+// schema-based Standard Blocking (manual alignment) on one fully
+// mappable dataset — the "Blast vs. Schema-based Blocking" paragraph of
+// Section 4.1, where the paper reports "the exact same PC and PQ"
+// because LMI's partitioning is equivalent to the manual alignment.
+type StandardRow struct {
+	Dataset  string
+	LMI      metrics.Quality
+	Standard metrics.Quality
+}
+
+// StandardBlocking runs the comparison on the fully mappable benchmarks.
+func StandardBlocking(cfg Config, names []string) ([]StandardRow, error) {
+	if names == nil {
+		names = []string{"ar1", "ar2", "prd"}
+	}
+	var out []StandardRow
+	for _, name := range names {
+		align, ok := datasets.ManualAlignment(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: %s has no manual alignment", name)
+		}
+		ds, err := cfg.load(name)
+		if err != nil {
+			return nil, err
+		}
+
+		runOn := func(key blocking.KeyFunc) metrics.Quality {
+			c := blocking.Build(ds, text.NewTokenizer(), key)
+			c = blocking.CleanWorkflow(c, 0.5, 0.8)
+			res := metablocking.Run(c, metablocking.DefaultConfig())
+			return metrics.EvaluatePairs(res.Pairs, ds.Truth)
+		}
+
+		profiles := attr.ExtractProfiles(ds, text.NewTokenizer())
+		part := attr.LMI(profiles, ds.Kind, attr.DefaultConfig())
+		out = append(out, StandardRow{
+			Dataset:  name,
+			LMI:      runOn(part.KeyFunc()),
+			Standard: runOn(blocking.SchemaKey(align)),
+		})
+	}
+	return out, nil
+}
+
+// RenderStandard formats the comparison.
+func RenderStandard(rows []StandardRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s | %8s %9s | %8s %9s\n", "", "LMI", "", "standard", "")
+	fmt.Fprintf(&b, "%-8s | %8s %9s | %8s %9s\n", "dataset", "PC(%)", "PQ(%)", "PC(%)", "PQ(%)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s | %8.2f %9.4f | %8.2f %9.4f\n",
+			r.Dataset, r.LMI.PC*100, r.LMI.PQ*100, r.Standard.PC*100, r.Standard.PQ*100)
+	}
+	return b.String()
+}

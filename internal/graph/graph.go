@@ -1,0 +1,164 @@
+// Package graph builds the blocking graph of graph-based meta-blocking
+// (Section 2.2 of the paper): nodes are entity profiles, and an edge
+// connects two profiles that co-occur in at least one block. Each edge
+// carries the co-occurrence statistics every weighting scheme needs —
+// |B_uv|, ARCS mass, and the entropy sum that BLAST's h(B_uv) term
+// averages — while per-node block counts |B_i| and the block-collection
+// totals live on the graph.
+package graph
+
+import (
+	"sort"
+
+	"blast/internal/blocking"
+	"blast/internal/model"
+)
+
+// Edge is one blocking-graph edge between profiles U < V.
+type Edge struct {
+	U, V int32
+	// Common is |B_uv|: the number of blocks shared by U and V.
+	Common int32
+	// ARCS accumulates sum over shared blocks of 1/||b||.
+	ARCS float64
+	// EntropySum accumulates sum over shared blocks of h(b), the block's
+	// cluster aggregate entropy; h(B_uv) = EntropySum / Common.
+	EntropySum float64
+	// Weight is filled in by a weighting scheme (package weights).
+	Weight float64
+}
+
+// Pair returns the canonical id pair of the edge.
+func (e *Edge) Pair() model.IDPair { return model.IDPair{U: e.U, V: e.V} }
+
+// EntropyMean returns h(B_uv), the mean entropy of the shared blocking
+// keys (1 if the edge has no recorded entropy mass).
+func (e *Edge) EntropyMean() float64 {
+	if e.Common == 0 || e.EntropySum == 0 {
+		return 1
+	}
+	return e.EntropySum / float64(e.Common)
+}
+
+// Graph is a blocking graph in edge-list form with per-node statistics.
+type Graph struct {
+	// NumProfiles is the number of nodes (profiles of the dataset,
+	// whether or not they have edges).
+	NumProfiles int
+	// Edges holds the deduplicated edges sorted by (U, V).
+	Edges []Edge
+	// BlockCounts is |B_i| per profile in the underlying collection.
+	BlockCounts []int32
+	// Degrees is the number of adjacent edges per node (|v_i|, used by
+	// EJS).
+	Degrees []int32
+	// TotalBlocks is |B|, the number of blocks of the collection.
+	TotalBlocks int
+	// TotalComparisons is ||B||, the aggregate cardinality.
+	TotalComparisons int64
+}
+
+// Build constructs the blocking graph of a block collection. Cost is
+// proportional to the aggregate cardinality ||B||.
+func Build(c *blocking.Collection) *Graph {
+	type acc struct {
+		common  int32
+		arcs    float64
+		entropy float64
+	}
+	index := make(map[uint64]int32)
+	var accs []acc
+	var keys []uint64
+
+	for i := range c.Blocks {
+		b := &c.Blocks[i]
+		cmp := b.Comparisons()
+		if cmp == 0 {
+			continue
+		}
+		inv := 1 / float64(cmp)
+		b.ForEachPair(func(u, v int32) {
+			k := model.MakePair(int(u), int(v)).Key()
+			idx, ok := index[k]
+			if !ok {
+				idx = int32(len(accs))
+				index[k] = idx
+				accs = append(accs, acc{})
+				keys = append(keys, k)
+			}
+			a := &accs[idx]
+			a.common++
+			a.arcs += inv
+			a.entropy += b.Entropy
+		})
+	}
+
+	g := &Graph{
+		NumProfiles:      c.NumProfiles,
+		BlockCounts:      c.ProfileBlockCounts(),
+		TotalBlocks:      c.Len(),
+		TotalComparisons: c.AggregateCardinality(),
+	}
+	order := make([]int32, len(keys))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool { return keys[order[i]] < keys[order[j]] })
+
+	g.Edges = make([]Edge, len(order))
+	g.Degrees = make([]int32, c.NumProfiles)
+	for i, idx := range order {
+		p := model.PairFromKey(keys[idx])
+		a := accs[idx]
+		g.Edges[i] = Edge{
+			U: p.U, V: p.V,
+			Common:     a.common,
+			ARCS:       a.arcs,
+			EntropySum: a.entropy,
+		}
+		g.Degrees[p.U]++
+		g.Degrees[p.V]++
+	}
+	return g
+}
+
+// Adjacency returns, for every node, the indexes (into Edges) of its
+// incident edges. The node-centric pruning schemes consume this view.
+func (g *Graph) Adjacency() [][]int32 {
+	adj := make([][]int32, g.NumProfiles)
+	for i := range adj {
+		if d := g.Degrees[i]; d > 0 {
+			adj[i] = make([]int32, 0, d)
+		}
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		adj[e.U] = append(adj[e.U], int32(i))
+		adj[e.V] = append(adj[e.V], int32(i))
+	}
+	return adj
+}
+
+// EdgeBetween returns the edge connecting u and v, or nil. Linear scan of
+// the smaller endpoint's edges via binary search on the sorted edge list.
+func (g *Graph) EdgeBetween(u, v int) *Edge {
+	k := model.MakePair(u, v).Key()
+	lo, hi := 0, len(g.Edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		e := &g.Edges[mid]
+		ek := e.Pair().Key()
+		switch {
+		case ek == k:
+			return e
+		case ek < k:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return nil
+}
+
+// NumEdges returns the number of distinct comparisons the graph entails.
+func (g *Graph) NumEdges() int { return len(g.Edges) }

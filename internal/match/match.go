@@ -1,0 +1,122 @@
+// Package match provides the entity-matching substrate used downstream
+// of blocking: a Jaccard matcher over whole-profile token sets, as in the
+// paper's end-to-end timing argument (Section 4.2.2: "profiles are
+// treated as strings ... we compute the Jaccard coefficient of the
+// profiles"). BLAST itself is independent of the matcher; this package
+// exists so examples and the end-to-end experiment can close the loop
+// from blocks to resolved entities.
+package match
+
+import (
+	"sort"
+
+	"blast/internal/lsh"
+	"blast/internal/model"
+	"blast/internal/text"
+)
+
+// Matcher decides whether two profiles refer to the same entity.
+type Matcher interface {
+	// Similarity returns a score in [0,1] for the pair of global ids.
+	Similarity(u, v int) float64
+}
+
+// Jaccard is a Matcher computing the Jaccard coefficient of the token
+// sets of entire profiles (attribute values concatenated, metadata
+// ignored). Token sets are precomputed per profile.
+type Jaccard struct {
+	tokens [][]uint64
+}
+
+// NewJaccard precomputes profile token sets for the dataset.
+func NewJaccard(ds *model.Dataset, tr text.Transform) *Jaccard {
+	m := &Jaccard{tokens: make([][]uint64, ds.NumProfiles())}
+	for i := 0; i < ds.NumProfiles(); i++ {
+		p := ds.Profile(i)
+		set := make(map[uint64]struct{})
+		for _, pair := range p.Pairs {
+			for _, tok := range tr.Terms(pair.Value) {
+				set[lsh.TokenHash(tok)] = struct{}{}
+			}
+		}
+		ts := make([]uint64, 0, len(set))
+		for h := range set {
+			ts = append(ts, h)
+		}
+		sort.Slice(ts, func(a, b int) bool { return ts[a] < ts[b] })
+		m.tokens[i] = ts
+	}
+	return m
+}
+
+// Similarity implements Matcher.
+func (m *Jaccard) Similarity(u, v int) float64 {
+	a, b := m.tokens[u], m.tokens[v]
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return float64(inter) / float64(len(a)+len(b)-inter)
+}
+
+// Result reports the outcome of resolving a comparison list.
+type Result struct {
+	// Matches are the pairs whose similarity reached the threshold.
+	Matches []model.IDPair
+	// Compared is the number of similarity computations executed.
+	Compared int
+}
+
+// Resolve runs the matcher over a list of comparisons and returns the
+// pairs at or above threshold. It is the "favorite ER algorithm" slot of
+// the paper's pipeline.
+func Resolve(m Matcher, pairs []model.IDPair, threshold float64) *Result {
+	res := &Result{}
+	for _, p := range pairs {
+		res.Compared++
+		if m.Similarity(int(p.U), int(p.V)) >= threshold {
+			res.Matches = append(res.Matches, p)
+		}
+	}
+	return res
+}
+
+// Evaluate scores predicted matches against the ground truth with
+// classic precision/recall/F1 over pairs.
+func Evaluate(predicted []model.IDPair, truth *model.GroundTruth) (precision, recall, f1 float64) {
+	if len(predicted) == 0 {
+		return 0, 0, 0
+	}
+	tp := 0
+	seen := make(map[uint64]struct{}, len(predicted))
+	for _, p := range predicted {
+		if _, dup := seen[p.Key()]; dup {
+			continue
+		}
+		seen[p.Key()] = struct{}{}
+		if truth.Contains(int(p.U), int(p.V)) {
+			tp++
+		}
+	}
+	precision = float64(tp) / float64(len(seen))
+	if truth.Size() > 0 {
+		recall = float64(tp) / float64(truth.Size())
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return
+}

@@ -1,0 +1,107 @@
+package match
+
+import (
+	"math"
+	"testing"
+
+	"blast/internal/datasets"
+	"blast/internal/model"
+	"blast/internal/text"
+)
+
+func TestJaccardSimilarity(t *testing.T) {
+	ds := datasets.PaperExample()
+	m := NewJaccard(ds, text.NewTokenizer())
+	// p2 ("Ellen Smith ... retail ... Abram st 30 NY") vs p4 ("Ellen
+	// Smith ... 1985 retailer Abram street NY"): overlapping tokens
+	// ellen, smith, abram, ny. Note that the *non-match* p2-p3 is
+	// token-wise slightly more similar than this true match (4/12 vs
+	// 4/13) — precisely the schema ambiguity BLAST exists to fix — so the
+	// ordering test uses the clearly unrelated p1-p2 pair.
+	simMatch := m.Similarity(1, 3)
+	simNon := m.Similarity(0, 1) // p1 vs p2: only "abram" in common
+	if simMatch <= simNon {
+		t.Errorf("match similarity %v should exceed non-match %v", simMatch, simNon)
+	}
+	if simMatch <= 0 || simMatch > 1 {
+		t.Errorf("similarity out of range: %v", simMatch)
+	}
+	// Symmetry and identity.
+	if m.Similarity(1, 3) != m.Similarity(3, 1) {
+		t.Error("similarity not symmetric")
+	}
+	if m.Similarity(2, 2) != 1 {
+		t.Error("self similarity should be 1")
+	}
+}
+
+func TestJaccardEmptyProfile(t *testing.T) {
+	e := model.NewCollection("s")
+	e.Append(model.Profile{ID: "empty"})
+	p := model.Profile{ID: "full"}
+	p.Add("a", "words here")
+	e.Append(p)
+	ds := &model.Dataset{Name: "d", Kind: model.Dirty, E1: e, Truth: model.NewGroundTruth()}
+	m := NewJaccard(ds, text.NewTokenizer())
+	if got := m.Similarity(0, 1); got != 0 {
+		t.Errorf("empty profile similarity = %v, want 0", got)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	ds := datasets.PaperExample()
+	m := NewJaccard(ds, text.NewTokenizer())
+	all := []model.IDPair{
+		model.MakePair(0, 1), model.MakePair(0, 2), model.MakePair(0, 3),
+		model.MakePair(1, 2), model.MakePair(1, 3), model.MakePair(2, 3),
+	}
+	res := Resolve(m, all, 0.25)
+	if res.Compared != 6 {
+		t.Errorf("Compared = %d, want 6", res.Compared)
+	}
+	found := make(map[model.IDPair]bool)
+	for _, p := range res.Matches {
+		found[p] = true
+	}
+	if !found[model.MakePair(1, 3)] {
+		t.Error("p2-p4 should match at threshold 0.25")
+	}
+	if found[model.MakePair(0, 1)] {
+		t.Error("p1-p2 should not match")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	truth := model.NewGroundTruth()
+	truth.Add(0, 1)
+	truth.Add(2, 3)
+	pred := []model.IDPair{
+		model.MakePair(0, 1), // TP
+		model.MakePair(4, 5), // FP
+		model.MakePair(0, 1), // duplicate ignored
+	}
+	p, r, f := Evaluate(pred, truth)
+	if p != 0.5 || r != 0.5 {
+		t.Errorf("precision/recall = %v/%v, want 0.5/0.5", p, r)
+	}
+	if math.Abs(f-0.5) > 1e-12 {
+		t.Errorf("f1 = %v, want 0.5", f)
+	}
+	p, r, f = Evaluate(nil, truth)
+	if p != 0 || r != 0 || f != 0 {
+		t.Error("empty prediction should score 0")
+	}
+}
+
+func TestEndToEndPaperExample(t *testing.T) {
+	// Blocking+matching closes the loop: resolving only the two pairs
+	// BLAST retains finds both duplicates with precision 1.
+	ds := datasets.PaperExample()
+	m := NewJaccard(ds, text.NewTokenizer())
+	retained := []model.IDPair{model.MakePair(0, 2), model.MakePair(1, 3)}
+	res := Resolve(m, retained, 0.2)
+	p, r, _ := Evaluate(res.Matches, ds.Truth)
+	if p != 1 || r != 1 {
+		t.Errorf("end-to-end precision/recall = %v/%v, want 1/1", p, r)
+	}
+}

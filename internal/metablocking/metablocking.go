@@ -1,0 +1,196 @@
+// Package metablocking orchestrates graph-based meta-blocking: it builds
+// the blocking graph of a block collection, applies a weighting scheme,
+// prunes edges, and materializes the restructured block collection (each
+// retained edge becomes a block of two profiles, so redundant comparisons
+// are impossible by construction — Definition 2 of the paper).
+package metablocking
+
+import (
+	"fmt"
+	"time"
+
+	"blast/internal/blocking"
+	"blast/internal/graph"
+	"blast/internal/model"
+	"blast/internal/prune"
+	"blast/internal/weights"
+)
+
+// Pruning enumerates the pruning algorithms.
+type Pruning int
+
+const (
+	// WEP discards edges below the global mean weight.
+	WEP Pruning = iota
+	// CEP keeps the globally top-K edges.
+	CEP
+	// WNP1 is redefined weight node pruning (either endpoint).
+	WNP1
+	// WNP2 is reciprocal weight node pruning (both endpoints).
+	WNP2
+	// CNP1 is redefined cardinality node pruning.
+	CNP1
+	// CNP2 is reciprocal cardinality node pruning.
+	CNP2
+	// BlastWNP is the paper's pruning: theta_i = M_i/c, edge threshold
+	// (theta_u + theta_v)/d.
+	BlastWNP
+)
+
+// String implements fmt.Stringer.
+func (p Pruning) String() string {
+	switch p {
+	case WEP:
+		return "wep"
+	case CEP:
+		return "cep"
+	case WNP1:
+		return "wnp1"
+	case WNP2:
+		return "wnp2"
+	case CNP1:
+		return "cnp1"
+	case CNP2:
+		return "cnp2"
+	case BlastWNP:
+		return "blast-wnp"
+	default:
+		return fmt.Sprintf("Pruning(%d)", int(p))
+	}
+}
+
+// Config selects the weighting scheme and pruning algorithm.
+type Config struct {
+	// Scheme is the edge weighting (default: BLAST chi2*h).
+	Scheme weights.Scheme
+	// Pruning is the pruning algorithm (default BlastWNP).
+	Pruning Pruning
+	// C is BLAST's local threshold divisor theta_i = M_i / C (default 2).
+	C float64
+	// D is BLAST's threshold combiner (theta_u + theta_v) / D (default 2).
+	D float64
+	// K overrides the cardinality of CEP/CNP; <= 0 uses their defaults.
+	K int
+	// Workers parallelizes blocking-graph construction: 0/1 builds
+	// serially, >1 shards pair accumulation across goroutines (see
+	// graph.BuildParallel). Output is identical either way.
+	Workers int
+}
+
+// DefaultConfig returns BLAST's meta-blocking configuration.
+func DefaultConfig() Config {
+	return Config{Scheme: weights.Blast(), Pruning: BlastWNP, C: 2, D: 2}
+}
+
+// Result is the outcome of a meta-blocking run.
+type Result struct {
+	// Pairs are the retained comparisons in canonical order; each is a
+	// block of two profiles in the restructured collection.
+	Pairs []model.IDPair
+	// Graph is the weighted blocking graph (weights as of the run).
+	Graph *graph.Graph
+	// GraphTime, WeightTime and PruneTime decompose the overhead time to.
+	GraphTime  time.Duration
+	WeightTime time.Duration
+	PruneTime  time.Duration
+}
+
+// Overhead returns the total meta-blocking overhead time (the paper's
+// t_o, excluding the underlying blocking).
+func (r *Result) Overhead() time.Duration {
+	return r.GraphTime + r.WeightTime + r.PruneTime
+}
+
+// Comparisons returns the aggregate cardinality of the restructured
+// collection, which equals the number of retained pairs.
+func (r *Result) Comparisons() int64 { return int64(len(r.Pairs)) }
+
+// PairSet returns the retained pairs keyed by IDPair.Key.
+func (r *Result) PairSet() map[uint64]struct{} {
+	set := make(map[uint64]struct{}, len(r.Pairs))
+	for _, p := range r.Pairs {
+		set[p.Key()] = struct{}{}
+	}
+	return set
+}
+
+// Run executes meta-blocking over the block collection.
+func Run(c *blocking.Collection, cfg Config) *Result {
+	t0 := time.Now()
+	var g *graph.Graph
+	if cfg.Workers > 1 {
+		g = graph.BuildParallel(c, cfg.Workers)
+	} else {
+		g = graph.Build(c)
+	}
+	t1 := time.Now()
+	cfg.Scheme.Apply(g)
+	t2 := time.Now()
+
+	var retained []int
+	switch cfg.Pruning {
+	case WEP:
+		retained = prune.WEP(g)
+	case CEP:
+		retained = prune.CEP(g, cfg.K)
+	case WNP1:
+		retained = prune.WNP(g, prune.Redefined)
+	case WNP2:
+		retained = prune.WNP(g, prune.Reciprocal)
+	case CNP1:
+		retained = prune.CNP(g, cfg.K, prune.Redefined)
+	case CNP2:
+		retained = prune.CNP(g, cfg.K, prune.Reciprocal)
+	case BlastWNP:
+		retained = prune.BlastWNP(g, cfg.C, cfg.D)
+	default:
+		panic(fmt.Sprintf("metablocking: unknown pruning %d", int(cfg.Pruning)))
+	}
+	t3 := time.Now()
+
+	pairs := make([]model.IDPair, len(retained))
+	for i, idx := range retained {
+		pairs[i] = g.Edges[idx].Pair()
+	}
+	return &Result{
+		Pairs:      pairs,
+		Graph:      g,
+		GraphTime:  t1.Sub(t0),
+		WeightTime: t2.Sub(t1),
+		PruneTime:  t3.Sub(t2),
+	}
+}
+
+// RunOnGraph executes weighting and pruning on a prebuilt graph. The
+// graph's weights are overwritten. Useful for ablations that reuse one
+// graph across schemes.
+func RunOnGraph(g *graph.Graph, cfg Config) *Result {
+	t1 := time.Now()
+	cfg.Scheme.Apply(g)
+	t2 := time.Now()
+	var retained []int
+	switch cfg.Pruning {
+	case WEP:
+		retained = prune.WEP(g)
+	case CEP:
+		retained = prune.CEP(g, cfg.K)
+	case WNP1:
+		retained = prune.WNP(g, prune.Redefined)
+	case WNP2:
+		retained = prune.WNP(g, prune.Reciprocal)
+	case CNP1:
+		retained = prune.CNP(g, cfg.K, prune.Redefined)
+	case CNP2:
+		retained = prune.CNP(g, cfg.K, prune.Reciprocal)
+	case BlastWNP:
+		retained = prune.BlastWNP(g, cfg.C, cfg.D)
+	default:
+		panic(fmt.Sprintf("metablocking: unknown pruning %d", int(cfg.Pruning)))
+	}
+	t3 := time.Now()
+	pairs := make([]model.IDPair, len(retained))
+	for i, idx := range retained {
+		pairs[i] = g.Edges[idx].Pair()
+	}
+	return &Result{Pairs: pairs, Graph: g, WeightTime: t2.Sub(t1), PruneTime: t3.Sub(t2)}
+}

@@ -1,0 +1,138 @@
+package model
+
+import "fmt"
+
+// Kind distinguishes the two Entity Resolution settings considered by the
+// paper (Section 2): clean-clean ER matches two duplicate-free collections;
+// dirty ER deduplicates a single collection.
+type Kind int
+
+const (
+	// CleanClean ER takes two duplicate-free collections E1, E2 and only
+	// pairs across them are comparable.
+	CleanClean Kind = iota
+	// Dirty ER takes a single collection Es that contains duplicates; all
+	// unordered pairs are comparable.
+	Dirty
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case CleanClean:
+		return "clean-clean"
+	case Dirty:
+		return "dirty"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Dataset bundles the input of one ER task: one (dirty) or two
+// (clean-clean) entity collections plus the ground truth of matching pairs.
+//
+// Profiles are addressed by *global ids*: profiles of E1 keep their index,
+// profiles of E2 (clean-clean only) are shifted by |E1|. All blocking and
+// meta-blocking structures operate on global ids.
+type Dataset struct {
+	Name  string
+	Kind  Kind
+	E1    *Collection
+	E2    *Collection // nil for dirty ER
+	Truth *GroundTruth
+}
+
+// NumProfiles returns the total number of profiles across the sources.
+func (d *Dataset) NumProfiles() int {
+	n := d.E1.Len()
+	if d.Kind == CleanClean {
+		n += d.E2.Len()
+	}
+	return n
+}
+
+// Split returns the global id of the first profile of E2 (the boundary
+// between the two sources). For dirty ER it equals NumProfiles().
+func (d *Dataset) Split() int {
+	if d.Kind == CleanClean {
+		return d.E1.Len()
+	}
+	return d.E1.Len()
+}
+
+// SourceOf reports which source a global id belongs to: 0 for E1, 1 for E2.
+// Dirty datasets always return 0.
+func (d *Dataset) SourceOf(global int) int {
+	if d.Kind == CleanClean && global >= d.E1.Len() {
+		return 1
+	}
+	return 0
+}
+
+// Profile returns the profile with the given global id.
+func (d *Dataset) Profile(global int) *Profile {
+	if d.Kind == CleanClean && global >= d.E1.Len() {
+		return &d.E2.Profiles[global-d.E1.Len()]
+	}
+	return &d.E1.Profiles[global]
+}
+
+// Comparable reports whether the unordered pair (u, v) is a valid
+// comparison for the dataset kind: distinct profiles, and, for clean-clean
+// ER, profiles from different sources.
+func (d *Dataset) Comparable(u, v int) bool {
+	if u == v {
+		return false
+	}
+	if d.Kind == CleanClean {
+		return d.SourceOf(u) != d.SourceOf(v)
+	}
+	return true
+}
+
+// TotalComparisons returns the number of comparisons the naive (brute
+// force) solution would execute: |E1|*|E2| for clean-clean and
+// n*(n-1)/2 for dirty ER.
+func (d *Dataset) TotalComparisons() int64 {
+	if d.Kind == CleanClean {
+		return int64(d.E1.Len()) * int64(d.E2.Len())
+	}
+	n := int64(d.E1.Len())
+	return n * (n - 1) / 2
+}
+
+// Sources returns the collections of the dataset: {E1} for dirty,
+// {E1, E2} for clean-clean.
+func (d *Dataset) Sources() []*Collection {
+	if d.Kind == CleanClean {
+		return []*Collection{d.E1, d.E2}
+	}
+	return []*Collection{d.E1}
+}
+
+// Validate checks structural invariants of the dataset: non-nil
+// collections, truth pairs referring to existing, comparable profiles.
+func (d *Dataset) Validate() error {
+	if d.E1 == nil {
+		return fmt.Errorf("model: dataset %q has nil E1", d.Name)
+	}
+	if d.Kind == CleanClean && d.E2 == nil {
+		return fmt.Errorf("model: clean-clean dataset %q has nil E2", d.Name)
+	}
+	if d.Kind == Dirty && d.E2 != nil {
+		return fmt.Errorf("model: dirty dataset %q has non-nil E2", d.Name)
+	}
+	n := d.NumProfiles()
+	if d.Truth != nil {
+		for _, p := range d.Truth.Pairs() {
+			u, v := int(p.U), int(p.V)
+			if u < 0 || u >= n || v < 0 || v >= n {
+				return fmt.Errorf("model: dataset %q truth pair (%d,%d) out of range [0,%d)", d.Name, u, v, n)
+			}
+			if !d.Comparable(u, v) {
+				return fmt.Errorf("model: dataset %q truth pair (%d,%d) is not a valid comparison", d.Name, u, v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+// Package model defines the core data types of the BLAST reproduction:
+// entity profiles, entity collections, datasets (clean-clean and dirty ER
+// inputs) and ground-truth pair sets.
+//
+// Terminology follows the paper (Simonini et al., PVLDB 9(12), 2016):
+// an entity profile is a tuple of a unique identifier and a set of
+// name-value pairs; an entity collection is a set of profiles; two profiles
+// match if they refer to the same real-world object.
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pair is a single name-value pair of an entity profile.
+type Pair struct {
+	Name  string
+	Value string
+}
+
+// Profile is an entity profile: a unique identifier plus name-value pairs.
+// The zero value is an empty profile.
+type Profile struct {
+	// ID is the external identifier of the profile (unique within its
+	// collection). It is never interpreted by the algorithms.
+	ID string
+	// Pairs holds the name-value pairs describing the entity.
+	Pairs []Pair
+}
+
+// Add appends a name-value pair to the profile. Empty values are kept;
+// blocking-level transformations decide how to treat them.
+func (p *Profile) Add(name, value string) {
+	p.Pairs = append(p.Pairs, Pair{Name: name, Value: value})
+}
+
+// Value returns the first value associated with the attribute name and
+// whether the attribute is present.
+func (p *Profile) Value(name string) (string, bool) {
+	for _, pr := range p.Pairs {
+		if pr.Name == name {
+			return pr.Value, true
+		}
+	}
+	return "", false
+}
+
+// Values returns all values associated with the attribute name.
+func (p *Profile) Values(name string) []string {
+	var vs []string
+	for _, pr := range p.Pairs {
+		if pr.Name == name {
+			vs = append(vs, pr.Value)
+		}
+	}
+	return vs
+}
+
+// AttributeNames returns the distinct attribute names of the profile in
+// first-appearance order.
+func (p *Profile) AttributeNames() []string {
+	seen := make(map[string]bool, len(p.Pairs))
+	var names []string
+	for _, pr := range p.Pairs {
+		if !seen[pr.Name] {
+			seen[pr.Name] = true
+			names = append(names, pr.Name)
+		}
+	}
+	return names
+}
+
+// String renders the profile as "id{name=value, ...}". Intended for
+// debugging and examples, not for serialization.
+func (p *Profile) String() string {
+	var b strings.Builder
+	b.WriteString(p.ID)
+	b.WriteByte('{')
+	for i, pr := range p.Pairs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%s", pr.Name, pr.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Collection is an entity collection: an ordered set of entity profiles
+// from a single data source. Order is significant only in that profile
+// indexes (positions) are used as compact internal identifiers.
+type Collection struct {
+	// Name identifies the data source (e.g. "dblp").
+	Name string
+	// Profiles holds the entity profiles of the collection.
+	Profiles []Profile
+
+	attrIndex map[string]int // lazily built attribute name -> dense id
+	attrNames []string       // dense id -> attribute name
+}
+
+// NewCollection returns an empty collection with the given source name.
+func NewCollection(name string) *Collection {
+	return &Collection{Name: name}
+}
+
+// Append adds a profile to the collection and returns its index.
+// It invalidates any previously built attribute index.
+func (c *Collection) Append(p Profile) int {
+	c.Profiles = append(c.Profiles, p)
+	c.attrIndex = nil
+	c.attrNames = nil
+	return len(c.Profiles) - 1
+}
+
+// Len returns the number of profiles in the collection.
+func (c *Collection) Len() int { return len(c.Profiles) }
+
+// NVP returns the total number of name-value pairs in the collection
+// (the "nvp" column of Table 2 in the paper).
+func (c *Collection) NVP() int {
+	n := 0
+	for i := range c.Profiles {
+		n += len(c.Profiles[i].Pairs)
+	}
+	return n
+}
+
+// buildAttrIndex assigns dense ids to the distinct attribute names of the
+// collection, in deterministic (sorted) order.
+func (c *Collection) buildAttrIndex() {
+	if c.attrIndex != nil {
+		return
+	}
+	set := make(map[string]bool)
+	for i := range c.Profiles {
+		for _, pr := range c.Profiles[i].Pairs {
+			set[pr.Name] = true
+		}
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	idx := make(map[string]int, len(names))
+	for i, n := range names {
+		idx[n] = i
+	}
+	c.attrIndex = idx
+	c.attrNames = names
+}
+
+// AttributeNames returns the distinct attribute names of the collection in
+// sorted order. The returned slice must not be modified.
+func (c *Collection) AttributeNames() []string {
+	c.buildAttrIndex()
+	return c.attrNames
+}
+
+// NumAttributes returns |A|, the number of distinct attribute names.
+func (c *Collection) NumAttributes() int {
+	c.buildAttrIndex()
+	return len(c.attrNames)
+}
+
+// AttributeID returns the dense id of an attribute name and whether the
+// attribute occurs in the collection. Dense ids are stable for a given
+// collection content and span [0, NumAttributes()).
+func (c *Collection) AttributeID(name string) (int, bool) {
+	c.buildAttrIndex()
+	id, ok := c.attrIndex[name]
+	return id, ok
+}

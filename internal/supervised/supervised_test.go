@@ -1,0 +1,191 @@
+package supervised
+
+import (
+	"fmt"
+	"testing"
+
+	"blast/internal/blocking"
+	"blast/internal/datasets"
+	"blast/internal/graph"
+	"blast/internal/metrics"
+	"blast/internal/model"
+	"blast/internal/stats"
+)
+
+func TestSVMLearnsLinearlySeparable(t *testing.T) {
+	// y = +1 iff x0 + x1 > 1 with a margin.
+	rng := stats.NewRNG(3)
+	var xs [][]float64
+	var ys []int
+	for i := 0; i < 400; i++ {
+		a, b := rng.Float64()*2, rng.Float64()*2
+		s := a + b
+		if s > 0.8 && s < 1.2 {
+			continue // margin gap
+		}
+		xs = append(xs, []float64{a, b})
+		if s > 1 {
+			ys = append(ys, 1)
+		} else {
+			ys = append(ys, -1)
+		}
+	}
+	m := Train(xs, ys, TrainConfig{Seed: 7})
+	errs := 0
+	for i, x := range xs {
+		if m.Predict(x) != (ys[i] > 0) {
+			errs++
+		}
+	}
+	if rate := float64(errs) / float64(len(xs)); rate > 0.03 {
+		t.Errorf("training error %.3f, want <= 0.03", rate)
+	}
+}
+
+func TestSVMHandlesConstantFeature(t *testing.T) {
+	xs := [][]float64{{1, 5}, {2, 5}, {3, 5}, {4, 5}}
+	ys := []int{-1, -1, 1, 1}
+	m := Train(xs, ys, TrainConfig{Seed: 1})
+	if !m.Predict([]float64{4, 5}) || m.Predict([]float64{1, 5}) {
+		t.Error("constant feature broke training")
+	}
+}
+
+func TestTrainPanicsOnBadInput(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":  func() { Train(nil, nil, TrainConfig{}) },
+		"ragged": func() { Train([][]float64{{1, 2}, {1}}, []int{1, -1}, TrainConfig{}) },
+		"len":    func() { Train([][]float64{{1}}, []int{1, -1}, TrainConfig{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s input should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFeaturesPaperExample(t *testing.T) {
+	g := graph.Build(blocking.TokenBlocking(datasets.PaperExample()))
+	e := g.EdgeBetween(0, 2) // p1-p3
+	f := Features(g, e, nil)
+	if len(f) != NumFeatures {
+		t.Fatalf("features len = %d, want %d", len(f), NumFeatures)
+	}
+	if f[3] != 4 { // CBS
+		t.Errorf("CBS feature = %v, want 4", f[3])
+	}
+	if f[2] <= 0 || f[2] > 1 { // JS
+		t.Errorf("JS feature = %v, want in (0,1]", f[2])
+	}
+	if f[1] <= 3 { // ARCS = 3 + 1/6
+		t.Errorf("ARCS feature = %v, want > 3", f[1])
+	}
+	for i, v := range f {
+		if v < 0 {
+			t.Errorf("feature %d negative: %v", i, v)
+		}
+	}
+	// Buffer reuse.
+	buf := make([]float64, NumFeatures)
+	f2 := Features(g, e, buf)
+	for i := range f {
+		if f[i] != f2[i] {
+			t.Error("buffer reuse changed features")
+		}
+	}
+}
+
+// syntheticGraph builds a dirty block collection with `n` matching pairs
+// (5 private blocks each) and `n` superfluous pairs (1 shared block
+// each), returning the graph and truth.
+func syntheticGraph(n int) (*graph.Graph, *model.GroundTruth) {
+	c := &blocking.Collection{Kind: model.Dirty, NumProfiles: 4 * n}
+	truth := model.NewGroundTruth()
+	for i := 0; i < n; i++ {
+		u, v := int32(2*i), int32(2*i+1)
+		truth.Add(int(u), int(v))
+		for b := 0; b < 5; b++ {
+			c.Blocks = append(c.Blocks, blocking.Block{
+				Key: fmt.Sprintf("m%03d_%d", i, b), P1: []int32{u, v}, Entropy: 1,
+			})
+		}
+	}
+	for i := 0; i < n; i++ {
+		u, v := int32(2*n+2*i), int32(2*n+2*i+1)
+		c.Blocks = append(c.Blocks, blocking.Block{
+			Key: fmt.Sprintf("s%03d", i), P1: []int32{u, v}, Entropy: 1,
+		})
+	}
+	return graph.Build(c), truth
+}
+
+func TestRunSeparatesMatchesFromSuperfluous(t *testing.T) {
+	g, truth := syntheticGraph(60)
+	res := Run(g, truth, DefaultConfig())
+	q := metrics.EvaluatePairs(res.Pairs, truth)
+	if q.PC < 0.95 {
+		t.Errorf("supervised PC = %v, want >= 0.95", q.PC)
+	}
+	if q.PQ < 0.9 {
+		t.Errorf("supervised PQ = %v, want >= 0.9 (easy separation)", q.PQ)
+	}
+	if res.TrainSize == 0 || res.Model == nil {
+		t.Error("training should have happened")
+	}
+	// 10% of 60 positives = 6, balanced: 12 examples.
+	if res.TrainSize != 12 {
+		t.Errorf("TrainSize = %d, want 12", res.TrainSize)
+	}
+}
+
+func TestRunDegenerateNoPositives(t *testing.T) {
+	g, _ := syntheticGraph(5)
+	empty := model.NewGroundTruth()
+	res := Run(g, empty, DefaultConfig())
+	if len(res.Pairs) != g.NumEdges() {
+		t.Errorf("degenerate run should retain all %d edges, got %d", g.NumEdges(), len(res.Pairs))
+	}
+	if res.Model != nil {
+		t.Error("no model should be trained without labels")
+	}
+}
+
+func TestRunDegenerateAllPositives(t *testing.T) {
+	c := &blocking.Collection{Kind: model.Dirty, NumProfiles: 4, Blocks: []blocking.Block{
+		{Key: "a", P1: []int32{0, 1}}, {Key: "b", P1: []int32{2, 3}},
+	}}
+	g := graph.Build(c)
+	truth := model.NewGroundTruth()
+	truth.Add(0, 1)
+	truth.Add(2, 3)
+	res := Run(g, truth, DefaultConfig())
+	if len(res.Pairs) != 2 {
+		t.Errorf("all-positive graph should retain everything, got %d", len(res.Pairs))
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	g, truth := syntheticGraph(40)
+	a := Run(g, truth, DefaultConfig())
+	b := Run(g, truth, DefaultConfig())
+	if len(a.Pairs) != len(b.Pairs) {
+		t.Fatalf("nondeterministic: %d vs %d pairs", len(a.Pairs), len(b.Pairs))
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] {
+			t.Fatal("nondeterministic pair order")
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	g, truth := syntheticGraph(30)
+	res := Run(g, truth, Config{TrainFraction: -1, NegativeRatio: 0, Seed: 2})
+	if res.TrainSize == 0 {
+		t.Error("defaults should be applied and training performed")
+	}
+}

@@ -1,0 +1,133 @@
+// Package weights implements the edge-weighting schemes of graph-based
+// meta-blocking: the five classic schemes of Papadakis et al. (ARCS, CBS,
+// ECBS, JS, EJS) and BLAST's chi-squared weighting scaled by the
+// aggregate entropy of the shared blocking keys (Section 3.3.1 of the
+// paper). Every scheme can optionally be multiplied by h(B_uv), which is
+// how the paper's "wsh" ablation (classic schemes + entropy) is obtained.
+package weights
+
+import (
+	"fmt"
+	"math"
+
+	"blast/internal/graph"
+	"blast/internal/stats"
+)
+
+// Kind enumerates the base weighting functions.
+type Kind int
+
+const (
+	// CBS (Common Blocks Scheme) counts the blocks shared by the two
+	// profiles: w = |B_uv|.
+	CBS Kind = iota
+	// ECBS (Enhanced CBS) discounts profiles that appear in many blocks:
+	// w = |B_uv| * log(|B|/|B_u|) * log(|B|/|B_v|).
+	ECBS
+	// ARCS (Aggregate Reciprocal Comparisons Scheme) rewards small
+	// blocks: w = sum over shared blocks of 1/||b||.
+	ARCS
+	// JS weighs by the Jaccard coefficient of the profiles' block sets:
+	// w = |B_uv| / (|B_u| + |B_v| - |B_uv|).
+	JS
+	// EJS (Enhanced JS) additionally discounts high-degree nodes:
+	// w = JS * log(|E|/|v_u|) * log(|E|/|v_v|), |E| = number of edges.
+	EJS
+	// ChiSquared is BLAST's base weight: Pearson's chi-squared statistic
+	// of the profiles' co-occurrence contingency table (Table 1).
+	ChiSquared
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case CBS:
+		return "CBS"
+	case ECBS:
+		return "ECBS"
+	case ARCS:
+		return "ARCS"
+	case JS:
+		return "JS"
+	case EJS:
+		return "EJS"
+	case ChiSquared:
+		return "chi2"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Classic lists the five traditional schemes compared in the paper's
+// Tables 4-5 (their rows average over these).
+func Classic() []Kind { return []Kind{ARCS, CBS, ECBS, JS, EJS} }
+
+// Scheme is a configured weighting: a base kind, optionally scaled by the
+// edge's aggregate entropy h(B_uv).
+type Scheme struct {
+	Kind    Kind
+	Entropy bool
+}
+
+// Blast returns the paper's weighting: chi-squared scaled by entropy.
+func Blast() Scheme { return Scheme{Kind: ChiSquared, Entropy: true} }
+
+// Name renders e.g. "chi2*h" or "JS".
+func (s Scheme) Name() string {
+	if s.Entropy {
+		return s.Kind.String() + "*h"
+	}
+	return s.Kind.String()
+}
+
+// Apply computes the weight of every edge of g in place.
+func (s Scheme) Apply(g *graph.Graph) {
+	numEdges := float64(g.NumEdges())
+	totalBlocks := float64(g.TotalBlocks)
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		bu := float64(g.BlockCounts[e.U])
+		bv := float64(g.BlockCounts[e.V])
+		common := float64(e.Common)
+		var w float64
+		switch s.Kind {
+		case CBS:
+			w = common
+		case ECBS:
+			w = common * safeLog(totalBlocks/bu) * safeLog(totalBlocks/bv)
+		case ARCS:
+			w = e.ARCS
+		case JS:
+			if d := bu + bv - common; d > 0 {
+				w = common / d
+			}
+		case EJS:
+			var js float64
+			if d := bu + bv - common; d > 0 {
+				js = common / d
+			}
+			du := float64(g.Degrees[e.U])
+			dv := float64(g.Degrees[e.V])
+			w = js * safeLog(numEdges/du) * safeLog(numEdges/dv)
+		case ChiSquared:
+			tab := stats.NewContingency(int(e.Common), int(g.BlockCounts[e.U]), int(g.BlockCounts[e.V]), g.TotalBlocks)
+			w = tab.PositiveAssociation()
+		default:
+			panic(fmt.Sprintf("weights: unknown kind %d", int(s.Kind)))
+		}
+		if s.Entropy {
+			w *= e.EntropyMean()
+		}
+		e.Weight = w
+	}
+}
+
+// safeLog returns log(x) clamped to 0 for x <= 1, keeping the
+// ECBS/EJS discount factors non-negative on degenerate inputs (profiles
+// appearing in every block, nodes adjacent to every edge).
+func safeLog(x float64) float64 {
+	if x <= 1 {
+		return 0
+	}
+	return math.Log(x)
+}
