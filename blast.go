@@ -109,6 +109,13 @@ type Options struct {
 	Scheme weights.Scheme
 	// Pruning is the pruning algorithm (default BlastWNP).
 	Pruning metablocking.Pruning
+	// Engine selects the meta-blocking execution strategy: EdgeList
+	// (default) materializes the blocking graph's edge list, NodeCentric
+	// streams over a per-node CSR adjacency and keeps peak memory
+	// proportional to the adjacency. Retained pairs are identical.
+	// Ignored when Supervised is set: the supervised baseline needs
+	// per-edge feature vectors and always builds the edge list.
+	Engine metablocking.Engine
 	// C is the local threshold divisor theta_i = M_i/C (default 2;
 	// higher C retains more comparisons — higher PC, lower PQ).
 	C float64
@@ -120,16 +127,22 @@ type Options struct {
 
 	// Supervised switches Phase 3 to supervised meta-blocking (SVM over
 	// edge features, trained on TrainFraction of the ground truth). Used
-	// only for the paper's comparison rows.
+	// only for the paper's comparison rows. Always runs on the edge-list
+	// graph; the Engine option does not apply.
 	Supervised bool
 	// TrainFraction is the fraction of matches used to train the
 	// supervised baseline (default 0.1).
 	TrainFraction float64
 	// Seed drives the deterministic randomness (LSH, SVM sampling).
 	Seed uint64
-	// Workers parallelizes blocking-graph construction (0/1 = serial;
-	// results are identical either way). Worth raising once the block
-	// collection entails tens of millions of comparisons.
+	// Workers parallelizes blocking-graph construction: 0 uses one
+	// worker per CPU, 1 forces a serial build, >1 uses exactly that many
+	// goroutines. Results are identical either way. With the default
+	// EdgeList engine, 0 only engages parallelism on collections large
+	// enough for the sharded builder to pay off (see
+	// metablocking.Config.Workers); explicit counts are always honored.
+	// Like Engine, ignored when Supervised is set (the supervised
+	// baseline always builds its graph serially).
 	Workers int
 }
 
@@ -288,6 +301,7 @@ func Run(ds *model.Dataset, opt Options) (*Result, error) {
 		mb := metablocking.Run(blocks, metablocking.Config{
 			Scheme:  opt.Scheme,
 			Pruning: opt.Pruning,
+			Engine:  opt.Engine,
 			C:       opt.C,
 			D:       opt.D,
 			K:       opt.K,

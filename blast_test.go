@@ -306,3 +306,31 @@ func TestRunParallelWorkersIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestRunEngineIdentical: the public pipeline must return identical
+// pairs (and quality) whichever meta-blocking engine is selected.
+func TestRunEngineIdentical(t *testing.T) {
+	for _, ds := range []*model.Dataset{datasets.AR1(0.1, 9), datasets.Census(0.2, 9)} {
+		legacy, err := Run(ds, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := DefaultOptions()
+		opt.Engine = metablocking.NodeCentric
+		stream, err := Run(ds, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(legacy.Pairs) != len(stream.Pairs) {
+			t.Fatalf("%s: engine changed output: %d vs %d pairs", ds.Name, len(legacy.Pairs), len(stream.Pairs))
+		}
+		for i := range legacy.Pairs {
+			if legacy.Pairs[i] != stream.Pairs[i] {
+				t.Fatalf("%s: node-centric pairs differ from edge-list", ds.Name)
+			}
+		}
+		if legacy.Quality != stream.Quality {
+			t.Errorf("%s: quality differs across engines", ds.Name)
+		}
+	}
+}

@@ -7,9 +7,12 @@
 //	blastbench -exp all
 //
 // Experiments: table2 table3 table4 table5 table6 table7 fig5 fig8 fig9
-// fig10 endtoend scalability baselines standard all. -scale multiplies
-// the per-dataset default sizes (see internal/experiments); absolute
-// metrics depend on it, comparative structure does not.
+// fig10 endtoend scalability engines baselines standard all. -scale
+// multiplies the per-dataset default sizes (see internal/experiments);
+// absolute metrics depend on it, comparative structure does not. The
+// engines experiment compares the edge-list and node-centric
+// meta-blocking engines (time, allocation, output equality); -json
+// renders it as machine-readable JSON (the CI benchmark artifact).
 package main
 
 import (
@@ -22,20 +25,21 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table2..table7, fig5, fig8, fig9, fig10, endtoend, scalability, baselines, all")
-	dataset := flag.String("dataset", "", "dataset for table4/table7/endtoend (default: every applicable)")
+	exp := flag.String("exp", "all", "experiment id: table2..table7, fig5, fig8, fig9, fig10, endtoend, scalability, engines, baselines, all")
+	dataset := flag.String("dataset", "", "dataset for table4/table7/endtoend/engines (default: every applicable)")
 	scale := flag.Float64("scale", 1, "scale multiplier over per-dataset defaults")
 	seed := flag.Uint64("seed", 42, "random seed")
+	jsonOut := flag.Bool("json", false, "render the engines experiment as JSON")
 	flag.Parse()
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed}
-	if err := run(cfg, *exp, *dataset); err != nil {
+	if err := run(cfg, *exp, *dataset, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "blastbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg experiments.Config, exp, dataset string) error {
+func run(cfg experiments.Config, exp, dataset string, jsonOut bool) error {
 	switch exp {
 	case "table2":
 		rows, err := experiments.Table2(cfg)
@@ -131,12 +135,32 @@ func run(cfg experiments.Config, exp, dataset string) error {
 		if name == "" {
 			name = "ar1"
 		}
-		rows, err := experiments.Scalability(cfg, name, nil, 0)
+		// workers=1: the serial baseline, comparable across machines.
+		rows, err := experiments.Scalability(cfg, name, nil, 1)
 		if err != nil {
 			return err
 		}
 		fmt.Println("== Scalability: phase overhead vs dataset scale ==")
 		fmt.Print(experiments.RenderScalability(name, rows))
+	case "engines":
+		name := dataset
+		if name == "" {
+			name = "ar1"
+		}
+		rows, err := experiments.Engines(cfg, name, nil)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			js, err := experiments.EnginesJSON(rows)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(js))
+			return nil
+		}
+		fmt.Println("== Engines: edge-list vs node-centric meta-blocking ==")
+		fmt.Print(experiments.RenderEngines(name, rows))
 	case "baselines":
 		name := dataset
 		if name == "" {
@@ -157,8 +181,10 @@ func run(cfg experiments.Config, exp, dataset string) error {
 		fmt.Print(experiments.RenderStandard(rows))
 	case "all":
 		for _, e := range []string{"table2", "table3", "table4", "table5", "table6", "table7",
-			"fig5", "fig8", "fig9", "fig10", "endtoend", "scalability", "baselines", "standard"} {
-			if err := run(cfg, e, dataset); err != nil {
+			"fig5", "fig8", "fig9", "fig10", "endtoend", "scalability", "engines", "baselines", "standard"} {
+			// Always the text rendering: interleaving one JSON array into
+			// the combined report would serve neither reader.
+			if err := run(cfg, e, dataset, false); err != nil {
 				return fmt.Errorf("%s: %w", e, err)
 			}
 			fmt.Println()

@@ -11,32 +11,41 @@ func tinyCfg() experiments.Config { return experiments.Config{Scale: 0.15, Seed:
 func TestRunFastExperiments(t *testing.T) {
 	// The cheap experiments exercise the whole dispatch path.
 	for _, exp := range []string{"fig5", "table2"} {
-		if err := run(tinyCfg(), exp, ""); err != nil {
+		if err := run(tinyCfg(), exp, "", false); err != nil {
 			t.Errorf("%s: %v", exp, err)
 		}
 	}
 }
 
 func TestRunSingleDatasetSelectors(t *testing.T) {
-	if err := run(tinyCfg(), "table4", "ar1"); err != nil {
+	if err := run(tinyCfg(), "table4", "ar1", false); err != nil {
 		t.Errorf("table4 ar1: %v", err)
 	}
-	if err := run(tinyCfg(), "table7", "census"); err != nil {
+	if err := run(tinyCfg(), "table7", "census", false); err != nil {
 		t.Errorf("table7 census: %v", err)
 	}
-	if err := run(tinyCfg(), "endtoend", "prd"); err != nil {
+	if err := run(tinyCfg(), "endtoend", "prd", false); err != nil {
 		t.Errorf("endtoend prd: %v", err)
 	}
 }
 
+func TestRunEnginesExperiment(t *testing.T) {
+	if err := run(tinyCfg(), "engines", "ar1", false); err != nil {
+		t.Errorf("engines text: %v", err)
+	}
+	if err := run(tinyCfg(), "engines", "ar1", true); err != nil {
+		t.Errorf("engines json: %v", err)
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run(tinyCfg(), "table99", ""); err == nil {
+	if err := run(tinyCfg(), "table99", "", false); err == nil {
 		t.Error("unknown experiment should error")
 	}
 }
 
 func TestRunUnknownDataset(t *testing.T) {
-	if err := run(tinyCfg(), "table4", "nope"); err == nil {
+	if err := run(tinyCfg(), "table4", "nope", false); err == nil {
 		t.Error("unknown dataset should error")
 	}
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"time"
@@ -20,7 +21,20 @@ import (
 )
 
 func main() {
-	ds := datasets.AR1(0.25, 7) // quarter-scale DBLP-ACM shape
+	quick := flag.Bool("quick", false, "run at reduced scale (smoke-test guard)")
+	flag.Parse()
+	if err := run(*quick); err != nil {
+		fmt.Fprintln(os.Stderr, "bibliographic:", err)
+		os.Exit(1)
+	}
+}
+
+func run(quick bool) error {
+	scale := 0.25 // quarter-scale DBLP-ACM shape
+	if quick {
+		scale = 0.08
+	}
+	ds := datasets.AR1(scale, 7)
 	fmt.Println("workload:", datasets.Describe(ds))
 	fmt.Printf("naive comparisons: %d\n\n", ds.TotalComparisons())
 
@@ -56,8 +70,7 @@ func main() {
 	for _, r := range rows {
 		res, err := blast.Run(ds, r.opt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "bibliographic:", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("%-22s %8.2f %9.4f %8.3f %12d %10s\n",
 			r.name, res.Quality.PC*100, res.Quality.PQ*100, res.Quality.F1,
@@ -67,8 +80,7 @@ func main() {
 	// Close the loop: resolve BLAST's comparisons with a Jaccard matcher.
 	res, err := blast.Run(ds, blast.DefaultOptions())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bibliographic:", err)
-		os.Exit(1)
+		return err
 	}
 	matcher := match.NewJaccard(ds, text.NewTokenizer())
 	t0 := time.Now()
@@ -77,4 +89,5 @@ func main() {
 	fmt.Printf("\nend-to-end ER over BLAST blocks: %d comparisons in %s\n",
 		matched.Compared, time.Since(t0).Round(time.Millisecond))
 	fmt.Printf("matcher precision=%.3f recall=%.3f F1=%.3f\n", precision, recall, f1)
+	return nil
 }

@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestRunSmoke exercises the example through its -quick guard, keeping
+// the workload small enough for the test suite.
+func TestRunSmoke(t *testing.T) {
+	if err := run(true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"time"
@@ -17,7 +18,20 @@ import (
 )
 
 func main() {
-	ds := datasets.Census(0.5, 3)
+	quick := flag.Bool("quick", false, "run at reduced scale (smoke-test guard)")
+	flag.Parse()
+	if err := run(*quick); err != nil {
+		fmt.Fprintln(os.Stderr, "dirty:", err)
+		os.Exit(1)
+	}
+}
+
+func run(quick bool) error {
+	scale := 0.5
+	if quick {
+		scale = 0.15
+	}
+	ds := datasets.Census(scale, 3)
 	fmt.Println("workload:", datasets.Describe(ds))
 
 	// BLAST with a recall-leaning threshold (c=4) vs the default (c=2)
@@ -44,8 +58,7 @@ func main() {
 	for _, c := range configs {
 		res, err := blast.Run(ds, c.opt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dirty:", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("%-22s %8.2f %9.4f %8.3f %12d %10s\n",
 			c.name, res.Quality.PC*100, res.Quality.PQ*100, res.Quality.F1,
@@ -54,4 +67,5 @@ func main() {
 
 	fmt.Println("\nhigher c keeps more comparisons: more recall, less precision —")
 	fmt.Println("the knob of Section 3.3.2 for precision/recall trade-offs.")
+	return nil
 }

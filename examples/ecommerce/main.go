@@ -15,6 +15,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ecommerce:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	// Catalog A: a retailer with name/description/maker/price.
 	a := model.NewCollection("shopA")
 	addA := func(id, name, descr, maker, price string) {
@@ -54,8 +61,7 @@ func main() {
 	opt.FilterRatio = 1.0 // tiny dataset: keep all block memberships
 	res, err := blast.CleanClean(a, b, truth, opt)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ecommerce:", err)
-		os.Exit(1)
+		return err
 	}
 
 	fmt.Println("attribute clusters discovered without any schema alignment:")
@@ -80,6 +86,7 @@ func main() {
 		fmt.Printf("  %s %s <-> %s\n", mark, idOf(a, b, u), idOf(a, b, v))
 	}
 	fmt.Printf("\nPC=%.0f%% PQ=%.0f%% (* = true duplicate)\n", res.Quality.PC*100, res.Quality.PQ*100)
+	return nil
 }
 
 func idOf(a, b *model.Collection, global int) string {

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"time"
@@ -19,7 +20,20 @@ import (
 )
 
 func main() {
-	ds := datasets.DBP(0.4, 5)
+	quick := flag.Bool("quick", false, "run at reduced scale (smoke-test guard)")
+	flag.Parse()
+	if err := run(*quick); err != nil {
+		fmt.Fprintln(os.Stderr, "lshscale:", err)
+		os.Exit(1)
+	}
+}
+
+func run(quick bool) error {
+	scale := 0.4
+	if quick {
+		scale = 0.05
+	}
+	ds := datasets.DBP(scale, 5)
 	stats := datasets.Describe(ds)
 	fmt.Println("workload:", stats)
 	fmt.Printf("attribute pairs to compare exhaustively: %d\n\n", stats.A1*stats.A2)
@@ -55,8 +69,7 @@ func main() {
 		opt.LSH = mode.lsh
 		res, err := blast.Run(ds, opt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lshscale:", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("%-24s PC=%.2f%% PQ=%.3f%% induction=%s total=%s\n",
 			mode.name, res.Quality.PC*100, res.Quality.PQ*100,
@@ -64,4 +77,5 @@ func main() {
 	}
 	fmt.Println("\nsame blocking quality, a fraction of the induction time — the")
 	fmt.Println("Table 5/6 result that makes loose schema extraction web-scale.")
+	return nil
 }

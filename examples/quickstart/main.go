@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"sort"
 
 	"blast"
@@ -20,6 +21,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	ds := datasets.PaperExample()
 
 	fmt.Println("=== Entity profiles (Figure 1a) ===")
@@ -57,7 +65,7 @@ func main() {
 	opt.FilterRatio = 1.0 // ... nor filtering
 	res, err := blast.Run(ds, opt)
 	if err != nil {
-		panic(err)
+		return err
 	}
 
 	fmt.Println("\n=== Loose schema information (Figure 2/3, via real LMI) ===")
@@ -86,6 +94,7 @@ func main() {
 	}
 	fmt.Printf("\nPC=%.0f%% PQ=%.0f%% — both matches kept, every superfluous comparison pruned.\n",
 		res.Quality.PC*100, res.Quality.PQ*100)
+	return nil
 }
 
 func printBlocks(c *blocking.Collection) {

@@ -1,0 +1,3 @@
+module blast
+
+go 1.22

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"blast/internal/blocking"
+	"blast/internal/metablocking"
+)
+
+// EngineRow compares the two meta-blocking engines at one scale point of
+// a synthetic benchmark: wall-clock time, bytes allocated during the run
+// (the memory-wall metric the node-centric engine exists to lower), and
+// whether the retained pair lists are identical.
+type EngineRow struct {
+	Scale            float64       `json:"scale"`
+	Profiles         int           `json:"profiles"`
+	Comparisons      int64         `json:"comparisons"` // ||B|| of the cleaned blocks
+	Edges            int           `json:"edges"`
+	Pairs            int           `json:"pairs"`
+	EdgeListTime     time.Duration `json:"edge_list_ns"`
+	NodeCentricTime  time.Duration `json:"node_centric_ns"`
+	EdgeListBytes    uint64        `json:"edge_list_bytes"`
+	NodeCentricBytes uint64        `json:"node_centric_bytes"`
+	Equal            bool          `json:"equal"`
+}
+
+// measureEngine executes one meta-blocking run, timing it and measuring
+// the bytes it allocates (MemStats TotalAlloc delta, after a GC so prior
+// garbage does not blur the reading). Single-run readings are
+// deterministic enough for the engine comparison because both engines
+// run serially here.
+func measureEngine(blocks *blocking.Collection, cfg metablocking.Config) (*metablocking.Result, time.Duration, uint64) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	res := metablocking.Run(blocks, cfg)
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	return res, elapsed, m1.TotalAlloc - m0.TotalAlloc
+}
+
+// Engines runs both meta-blocking engines on a benchmark at increasing
+// scales and reports their time, allocation and output-equality. Both
+// engines run with Workers = 1 so the comparison isolates the
+// representation, not the parallelism.
+func Engines(cfg Config, dataset string, multipliers []float64) ([]EngineRow, error) {
+	if len(multipliers) == 0 {
+		multipliers = []float64{0.5, 1, 2}
+	}
+	var out []EngineRow
+	for _, m := range multipliers {
+		sub := cfg
+		sub.Scale = cfg.Scale * m
+		ds, err := sub.load(dataset)
+		if err != nil {
+			return nil, err
+		}
+		blocks := blocking.CleanWorkflow(blocking.TokenBlocking(ds), 0.5, 0.8)
+
+		mcfg := metablocking.DefaultConfig()
+		mcfg.Workers = 1
+		legacy, legacyTime, legacyBytes := measureEngine(blocks, mcfg)
+		// Keep only what the row needs and drop the legacy result —
+		// above all its materialized graph, the largest structure under
+		// comparison — so the node-centric run is not measured under the
+		// edge-list graph's heap pressure.
+		legacyPairs := legacy.Pairs
+		edges := legacy.Graph.NumEdges()
+		legacy = nil
+
+		ncfg := mcfg
+		ncfg.Engine = metablocking.NodeCentric
+		stream, streamTime, streamBytes := measureEngine(blocks, ncfg)
+
+		equal := len(legacyPairs) == len(stream.Pairs)
+		for i := 0; equal && i < len(legacyPairs); i++ {
+			equal = legacyPairs[i] == stream.Pairs[i]
+		}
+		out = append(out, EngineRow{
+			Scale:            sub.Scale,
+			Profiles:         ds.NumProfiles(),
+			Comparisons:      blocks.AggregateCardinality(),
+			Edges:            edges,
+			Pairs:            len(legacyPairs),
+			EdgeListTime:     legacyTime,
+			NodeCentricTime:  streamTime,
+			EdgeListBytes:    legacyBytes,
+			NodeCentricBytes: streamBytes,
+			Equal:            equal,
+		})
+	}
+	return out, nil
+}
+
+// RenderEngines formats the comparison series.
+func RenderEngines(dataset string, rows []EngineRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine comparison on %s (serial builds)\n", dataset)
+	fmt.Fprintf(&b, "%8s %9s %12s %10s %8s | %10s %12s | %10s %12s | %6s\n",
+		"scale", "profiles", "||B||", "edges", "pairs",
+		"edge-list", "alloc", "node-cent", "alloc", "equal")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8.3f %9d %12d %10d %8d | %10s %12d | %10s %12d | %6v\n",
+			r.Scale, r.Profiles, r.Comparisons, r.Edges, r.Pairs,
+			r.EdgeListTime.Round(time.Millisecond), r.EdgeListBytes,
+			r.NodeCentricTime.Round(time.Millisecond), r.NodeCentricBytes,
+			r.Equal)
+	}
+	return b.String()
+}
+
+// EnginesJSON renders the rows as indented JSON (the CI benchmark
+// artifact BENCH_metablocking.json).
+func EnginesJSON(rows []EngineRow) ([]byte, error) {
+	return json.MarshalIndent(rows, "", "  ")
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import "testing"
+
+// TestEnginesEquivalenceAndAllocation is the allocation-delta acceptance
+// check: on the largest scale point of the series the node-centric
+// engine must allocate less than the edge-list engine (it never builds
+// the global edge accumulator), while returning identical pairs.
+func TestEnginesEquivalenceAndAllocation(t *testing.T) {
+	rows, err := Engines(Config{Scale: 0.8, Seed: 42}, "ar1", []float64{0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Equal {
+			t.Errorf("scale %.3f: engines disagree on retained pairs", r.Scale)
+		}
+		if r.Edges == 0 || r.Pairs == 0 {
+			t.Errorf("scale %.3f: degenerate run (edges=%d pairs=%d)", r.Scale, r.Edges, r.Pairs)
+		}
+	}
+	last := rows[len(rows)-1]
+	if last.NodeCentricBytes >= last.EdgeListBytes {
+		t.Errorf("largest scale: node-centric allocated %d bytes, edge-list %d — streaming engine must allocate less",
+			last.NodeCentricBytes, last.EdgeListBytes)
+	}
+}
+
+func TestEnginesUnknownDataset(t *testing.T) {
+	if _, err := Engines(Config{Scale: 1, Seed: 1}, "nope", nil); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}
+
+func TestEnginesRender(t *testing.T) {
+	rows, err := Engines(Config{Scale: 0.2, Seed: 42}, "ar1", []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := RenderEngines("ar1", rows); s == "" {
+		t.Error("empty render")
+	}
+	js, err := EnginesJSON(rows)
+	if err != nil || len(js) == 0 {
+		t.Errorf("EnginesJSON: %v (%d bytes)", err, len(js))
+	}
+}

@@ -22,8 +22,9 @@ type ScalabilityRow struct {
 }
 
 // Scalability runs BLAST on one benchmark at increasing scales and
-// reports the phase timings. Workers > 1 additionally parallelizes graph
-// construction, demonstrating the scaling headroom of the design.
+// reports the phase timings. workers follows the blast.Options contract
+// (0 = one per CPU, 1 = serial, n = exactly n); pass 1 for a
+// machine-independent serial baseline.
 func Scalability(cfg Config, dataset string, multipliers []float64, workers int) ([]ScalabilityRow, error) {
 	if len(multipliers) == 0 {
 		multipliers = []float64{0.5, 1, 2, 4}

@@ -1,0 +1,238 @@
+package metablocking
+
+// The engine-equivalence harness: the edge-list engine (serial and
+// parallel graph build) and the node-centric streaming engine must
+// produce byte-identical retained pair lists for every Pruning x Scheme
+// combination, on randomized block collections of both kinds and on the
+// registry benchmarks. This is the contract that lets callers switch
+// engines purely on resource considerations.
+
+import (
+	"runtime"
+	"testing"
+
+	"blast/internal/blocking"
+	"blast/internal/datasets"
+	"blast/internal/model"
+	"blast/internal/stats"
+	"blast/internal/weights"
+)
+
+var allPrunings = []Pruning{WEP, CEP, WNP1, WNP2, CNP1, CNP2, BlastWNP}
+
+func allSchemes() []weights.Scheme {
+	kinds := []weights.Kind{
+		weights.CBS, weights.ECBS, weights.ARCS,
+		weights.JS, weights.EJS, weights.ChiSquared,
+	}
+	var out []weights.Scheme
+	for _, k := range kinds {
+		out = append(out, weights.Scheme{Kind: k}, weights.Scheme{Kind: k, Entropy: true})
+	}
+	return out
+}
+
+// samePairs fails the test unless the two runs retained byte-identical
+// pair lists.
+func samePairs(t *testing.T, label string, want, got []model.IDPair) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d pairs, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: pair %d = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// checkEngineEquivalence runs one configuration through all four
+// execution paths and asserts identical output.
+func checkEngineEquivalence(t *testing.T, c *blocking.Collection, cfg Config) {
+	t.Helper()
+	base := cfg
+	base.Engine = EdgeList
+	base.Workers = 1
+	want := Run(c, base)
+
+	parallel := base
+	parallel.Workers = 3
+	label := cfg.Scheme.Name() + "+" + cfg.Pruning.String()
+	samePairs(t, label+" parallel-build", want.Pairs, Run(c, parallel).Pairs)
+
+	stream := base
+	stream.Engine = NodeCentric
+	samePairs(t, label+" node-centric", want.Pairs, Run(c, stream).Pairs)
+
+	streamPar := stream
+	streamPar.Workers = 3
+	samePairs(t, label+" node-centric-parallel", want.Pairs, Run(c, streamPar).Pairs)
+}
+
+// TestEngineEquivalenceRandomized is the property harness of the issue:
+// seeded random collections, every Pruning x Scheme combination, four
+// execution paths, byte-identical results.
+func TestEngineEquivalenceRandomized(t *testing.T) {
+	schemes := allSchemes()
+	for seed := uint64(1); seed <= 3; seed++ {
+		rng := stats.NewRNG(seed)
+		for _, kind := range []model.Kind{model.Dirty, model.CleanClean} {
+			c := blocking.RandomCollection(rng, kind, 50+rng.Intn(70), 30+rng.Intn(50))
+			if err := c.Validate(); err != nil {
+				t.Fatalf("seed %d: invalid random collection: %v", seed, err)
+			}
+			for _, p := range allPrunings {
+				for _, s := range schemes {
+					checkEngineEquivalence(t, c, Config{
+						Scheme: s, Pruning: p, C: 2, D: 2,
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestEngineEquivalenceConfigKnobs varies the scheme-independent knobs
+// (explicit K budgets, non-default C/D) on one random collection.
+func TestEngineEquivalenceConfigKnobs(t *testing.T) {
+	rng := stats.NewRNG(99)
+	c := blocking.RandomCollection(rng, model.Dirty, 80, 60)
+	for _, cfg := range []Config{
+		{Scheme: weights.Blast(), Pruning: BlastWNP, C: 1, D: 2},
+		{Scheme: weights.Blast(), Pruning: BlastWNP, C: 4, D: 1},
+		{Scheme: weights.Scheme{Kind: weights.CBS}, Pruning: CEP, K: 1},
+		{Scheme: weights.Scheme{Kind: weights.CBS}, Pruning: CEP, K: 7},
+		{Scheme: weights.Scheme{Kind: weights.JS}, Pruning: CNP1, K: 2},
+		{Scheme: weights.Scheme{Kind: weights.JS}, Pruning: CNP2, K: 3},
+	} {
+		checkEngineEquivalence(t, c, cfg)
+	}
+}
+
+// TestEngineEquivalenceRegistryDatasets is the acceptance criterion: on
+// every registry benchmark (token-blocked and cleaned at small scale),
+// the node-centric engine returns byte-identical pairs to the edge-list
+// engine.
+func TestEngineEquivalenceRegistryDatasets(t *testing.T) {
+	scales := map[string]float64{"dbp": 0.02, "mov": 0.01, "ar2": 0.02, "cddb": 0.03}
+	for _, name := range datasets.AllNames() {
+		gen, err := datasets.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scale, ok := scales[name]
+		if !ok {
+			scale = 0.05
+		}
+		c := blocking.CleanWorkflow(blocking.TokenBlocking(gen(scale, 42)), 0.5, 0.8)
+		for _, cfg := range []Config{
+			DefaultConfig(),
+			{Scheme: weights.Scheme{Kind: weights.JS}, Pruning: WNP2},
+			{Scheme: weights.Scheme{Kind: weights.CBS}, Pruning: CNP1},
+		} {
+			t.Run(name+"/"+cfg.Pruning.String(), func(t *testing.T) {
+				checkEngineEquivalence(t, c, cfg)
+			})
+		}
+	}
+}
+
+// TestNodeCentricResultShape: the streaming result must carry the CSR
+// (not an edge-list graph) and canonical sorted pairs.
+func TestNodeCentricResultShape(t *testing.T) {
+	c := paperBlocks()
+	cfg := DefaultConfig()
+	cfg.Engine = NodeCentric
+	res := Run(c, cfg)
+	if res.Graph != nil {
+		t.Error("node-centric run must not materialize an edge-list graph")
+	}
+	if res.CSR == nil {
+		t.Fatal("node-centric run must carry the CSR")
+	}
+	if res.CSR.Common != nil || res.CSR.ARCS != nil || res.CSR.EntropySum != nil {
+		t.Error("CSR stats should be released after weighting")
+	}
+	for i, p := range res.Pairs {
+		if p.U >= p.V {
+			t.Errorf("pair %d not canonical: %v", i, p)
+		}
+		if i > 0 && res.Pairs[i-1].Key() >= p.Key() {
+			t.Error("pairs not sorted")
+		}
+	}
+}
+
+func TestNodeCentricPanicsOnUnknownPruning(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown pruning should panic")
+		}
+	}()
+	Run(paperBlocks(), Config{Scheme: weights.Blast(), Pruning: Pruning(42), Engine: NodeCentric})
+}
+
+func TestRunPanicsOnUnknownEngine(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown engine should panic, not silently pick one")
+		}
+	}()
+	Run(paperBlocks(), Config{Scheme: weights.Blast(), Pruning: BlastWNP, Engine: Engine(7)})
+}
+
+func TestEngineString(t *testing.T) {
+	if EdgeList.String() != "edge-list" || NodeCentric.String() != "node-centric" {
+		t.Error("Engine.String mismatch")
+	}
+	if Engine(9).String() == "" {
+		t.Error("unknown engine should render")
+	}
+}
+
+// TestResolveWorkers is the regression test for the documented
+// workers=0 -> GOMAXPROCS contract: Run must not silently fall back to
+// the serial path when Workers is left zero.
+func TestResolveWorkers(t *testing.T) {
+	if got, want := resolveWorkers(0), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("resolveWorkers(0) = %d, want GOMAXPROCS = %d", got, want)
+	}
+	if got, want := resolveWorkers(-3), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("resolveWorkers(-3) = %d, want GOMAXPROCS = %d", got, want)
+	}
+	if resolveWorkers(1) != 1 || resolveWorkers(5) != 5 {
+		t.Error("explicit worker counts must pass through")
+	}
+}
+
+func TestRunResolvesZeroWorkers(t *testing.T) {
+	// NodeCentric: the CSR builder partitions work without duplication,
+	// so Workers=0 auto-parallelizes at any scale.
+	cfg := DefaultConfig()
+	cfg.Engine = NodeCentric
+	res := Run(paperBlocks(), cfg)
+	if want := runtime.GOMAXPROCS(0); res.Workers != want {
+		t.Errorf("node-centric: Workers = %d, want GOMAXPROCS = %d", res.Workers, want)
+	}
+	// EdgeList: Workers=0 resolves to GOMAXPROCS but the automatic
+	// default declines parallelism below autoParallelMinComparisons
+	// (the sharded builder would scan all pairs once per worker), so
+	// the tiny paper example builds serially...
+	cfg = DefaultConfig()
+	if res := Run(paperBlocks(), cfg); runtime.GOMAXPROCS(0) > 1 && res.Workers != 1 {
+		t.Errorf("edge-list auto: Workers = %d, want 1 on a tiny collection", res.Workers)
+	}
+	// ...while an explicit request is always honored.
+	cfg.Workers = 4
+	if res := Run(paperBlocks(), cfg); res.Workers != 4 {
+		t.Errorf("edge-list explicit: Workers = %d, want 4", res.Workers)
+	}
+	for _, engine := range []Engine{EdgeList, NodeCentric} {
+		cfg := DefaultConfig()
+		cfg.Engine = engine
+		cfg.Workers = 1
+		if res := Run(paperBlocks(), cfg); res.Workers != 1 {
+			t.Errorf("%v: Workers = %d, want 1", engine, res.Workers)
+		}
+	}
+}

@@ -3,10 +3,17 @@
 // prunes edges, and materializes the restructured block collection (each
 // retained edge becomes a block of two profiles, so redundant comparisons
 // are impossible by construction — Definition 2 of the paper).
+//
+// Two execution engines are available. EdgeList materializes the full
+// edge list (graph.Build) before weighting and pruning; NodeCentric
+// streams over a CSR adjacency (graph.BuildCSR) and never allocates a
+// global edge accumulator, which keeps peak memory proportional to the
+// adjacency itself on large collections. Both produce identical Pairs.
 package metablocking
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"blast/internal/blocking"
@@ -59,21 +66,57 @@ func (p Pruning) String() string {
 	}
 }
 
+// Engine selects the blocking-graph execution strategy of Run.
+type Engine int
+
+const (
+	// EdgeList materializes the deduplicated edge list before weighting
+	// and pruning — the default engine, required by RunOnGraph and by
+	// consumers that inspect Result.Graph.
+	EdgeList Engine = iota
+	// NodeCentric builds a CSR adjacency per node from the block index
+	// and streams the pruning schemes over it in two passes (thresholds,
+	// then retention). No global edge map or edge slice is ever
+	// allocated; Result.Graph is nil and Result.CSR carries the
+	// adjacency. Retained pairs are identical to EdgeList.
+	NodeCentric
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case EdgeList:
+		return "edge-list"
+	case NodeCentric:
+		return "node-centric"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
 // Config selects the weighting scheme and pruning algorithm.
 type Config struct {
 	// Scheme is the edge weighting (default: BLAST chi2*h).
 	Scheme weights.Scheme
 	// Pruning is the pruning algorithm (default BlastWNP).
 	Pruning Pruning
+	// Engine selects the execution strategy (default EdgeList).
+	Engine Engine
 	// C is BLAST's local threshold divisor theta_i = M_i / C (default 2).
 	C float64
 	// D is BLAST's threshold combiner (theta_u + theta_v) / D (default 2).
 	D float64
 	// K overrides the cardinality of CEP/CNP; <= 0 uses their defaults.
 	K int
-	// Workers parallelizes blocking-graph construction: 0/1 builds
-	// serially, >1 shards pair accumulation across goroutines (see
-	// graph.BuildParallel). Output is identical either way.
+	// Workers parallelizes blocking-graph construction: 0 uses one
+	// worker per CPU (GOMAXPROCS), 1 builds serially, >1 uses exactly
+	// that many goroutines. Output is identical either way. For the
+	// EdgeList engine the automatic default only engages on collections
+	// with at least ~4M aggregate comparisons: its sharded builder makes
+	// every worker scan every pair, so parallelism below that scale
+	// multiplies CPU for little wall-clock gain (an explicit Workers > 1
+	// is always honored). The NodeCentric builder partitions work
+	// without duplication and parallelizes at any scale.
 	Workers int
 }
 
@@ -82,13 +125,40 @@ func DefaultConfig() Config {
 	return Config{Scheme: weights.Blast(), Pruning: BlastWNP, C: 2, D: 2}
 }
 
+// resolveWorkers maps the Config.Workers contract to a concrete worker
+// count: 0 (or negative) means one worker per CPU.
+func resolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// autoParallelMinComparisons gates the EdgeList engine's automatic
+// (Workers == 0) parallelism: graph.BuildParallel's sharding has every
+// worker enumerate all ||B|| pairs, so below this aggregate cardinality
+// the duplicated scanning outweighs the shared map work it divides (the
+// builder's own guidance is "tens of millions").
+const autoParallelMinComparisons = 4 << 20
+
 // Result is the outcome of a meta-blocking run.
 type Result struct {
 	// Pairs are the retained comparisons in canonical order; each is a
 	// block of two profiles in the restructured collection.
 	Pairs []model.IDPair
-	// Graph is the weighted blocking graph (weights as of the run).
+	// Graph is the weighted blocking graph (weights as of the run). It
+	// is nil for NodeCentric runs, which never materialize an edge list;
+	// see CSR instead.
 	Graph *graph.Graph
+	// CSR is the node-centric adjacency of a NodeCentric run (nil for
+	// EdgeList runs). Its co-occurrence stat arrays are released after
+	// weighting; Weights remain valid.
+	CSR *graph.CSR
+	// Workers is the resolved worker count requested of the graph
+	// builder (0 and negatives resolve to GOMAXPROCS). The builders may
+	// still fall back to a serial build on collections too small to
+	// shard; RunOnGraph, which builds no graph, leaves it 0.
+	Workers int
 	// GraphTime, WeightTime and PruneTime decompose the overhead time to.
 	GraphTime  time.Duration
 	WeightTime time.Duration
@@ -114,38 +184,77 @@ func (r *Result) PairSet() map[uint64]struct{} {
 	return set
 }
 
+// pruneGraph dispatches the configured pruning over an edge-list graph,
+// returning the indexes of the retained edges.
+func pruneGraph(g *graph.Graph, cfg Config) []int {
+	switch cfg.Pruning {
+	case WEP:
+		return prune.WEP(g)
+	case CEP:
+		return prune.CEP(g, cfg.K)
+	case WNP1:
+		return prune.WNP(g, prune.Redefined)
+	case WNP2:
+		return prune.WNP(g, prune.Reciprocal)
+	case CNP1:
+		return prune.CNP(g, cfg.K, prune.Redefined)
+	case CNP2:
+		return prune.CNP(g, cfg.K, prune.Reciprocal)
+	case BlastWNP:
+		return prune.BlastWNP(g, cfg.C, cfg.D)
+	default:
+		panic(fmt.Sprintf("metablocking: unknown pruning %d", int(cfg.Pruning)))
+	}
+}
+
+// pruneCSR dispatches the configured pruning over a CSR graph, emitting
+// the retained pairs directly.
+func pruneCSR(g *graph.CSR, cfg Config) []model.IDPair {
+	switch cfg.Pruning {
+	case WEP:
+		return prune.WEPStream(g)
+	case CEP:
+		return prune.CEPStream(g, cfg.K)
+	case WNP1:
+		return prune.WNPStream(g, prune.Redefined)
+	case WNP2:
+		return prune.WNPStream(g, prune.Reciprocal)
+	case CNP1:
+		return prune.CNPStream(g, cfg.K, prune.Redefined)
+	case CNP2:
+		return prune.CNPStream(g, cfg.K, prune.Reciprocal)
+	case BlastWNP:
+		return prune.BlastWNPStream(g, cfg.C, cfg.D)
+	default:
+		panic(fmt.Sprintf("metablocking: unknown pruning %d", int(cfg.Pruning)))
+	}
+}
+
 // Run executes meta-blocking over the block collection.
 func Run(c *blocking.Collection, cfg Config) *Result {
+	switch cfg.Engine {
+	case EdgeList:
+		// fall through to the edge-list path below
+	case NodeCentric:
+		return runNodeCentric(c, cfg)
+	default:
+		panic(fmt.Sprintf("metablocking: unknown engine %d", int(cfg.Engine)))
+	}
+	workers := resolveWorkers(cfg.Workers)
+	if cfg.Workers <= 0 && workers > 1 && c.AggregateCardinality() < autoParallelMinComparisons {
+		workers = 1 // auto-parallelism not worth W x the pair scanning here
+	}
 	t0 := time.Now()
 	var g *graph.Graph
-	if cfg.Workers > 1 {
-		g = graph.BuildParallel(c, cfg.Workers)
+	if workers > 1 {
+		g = graph.BuildParallel(c, workers)
 	} else {
 		g = graph.Build(c)
 	}
 	t1 := time.Now()
 	cfg.Scheme.Apply(g)
 	t2 := time.Now()
-
-	var retained []int
-	switch cfg.Pruning {
-	case WEP:
-		retained = prune.WEP(g)
-	case CEP:
-		retained = prune.CEP(g, cfg.K)
-	case WNP1:
-		retained = prune.WNP(g, prune.Redefined)
-	case WNP2:
-		retained = prune.WNP(g, prune.Reciprocal)
-	case CNP1:
-		retained = prune.CNP(g, cfg.K, prune.Redefined)
-	case CNP2:
-		retained = prune.CNP(g, cfg.K, prune.Reciprocal)
-	case BlastWNP:
-		retained = prune.BlastWNP(g, cfg.C, cfg.D)
-	default:
-		panic(fmt.Sprintf("metablocking: unknown pruning %d", int(cfg.Pruning)))
-	}
+	retained := pruneGraph(g, cfg)
 	t3 := time.Now()
 
 	pairs := make([]model.IDPair, len(retained))
@@ -155,38 +264,51 @@ func Run(c *blocking.Collection, cfg Config) *Result {
 	return &Result{
 		Pairs:      pairs,
 		Graph:      g,
+		Workers:    workers,
 		GraphTime:  t1.Sub(t0),
 		WeightTime: t2.Sub(t1),
 		PruneTime:  t3.Sub(t2),
 	}
 }
 
-// RunOnGraph executes weighting and pruning on a prebuilt graph. The
-// graph's weights are overwritten. Useful for ablations that reuse one
-// graph across schemes.
+// runNodeCentric is the streaming path of Run: CSR construction,
+// per-adjacency weighting, and two-pass pruning, with no edge list.
+func runNodeCentric(c *blocking.Collection, cfg Config) *Result {
+	workers := resolveWorkers(cfg.Workers)
+	t0 := time.Now()
+	var g *graph.CSR
+	if workers > 1 {
+		g = graph.BuildCSRParallel(c, workers)
+	} else {
+		g = graph.BuildCSR(c)
+	}
+	t1 := time.Now()
+	cfg.Scheme.ApplyCSR(g)
+	g.ReleaseStats()
+	t2 := time.Now()
+	pairs := pruneCSR(g, cfg)
+	t3 := time.Now()
+	if pairs == nil {
+		pairs = make([]model.IDPair, 0)
+	}
+	return &Result{
+		Pairs:      pairs,
+		CSR:        g,
+		Workers:    workers,
+		GraphTime:  t1.Sub(t0),
+		WeightTime: t2.Sub(t1),
+		PruneTime:  t3.Sub(t2),
+	}
+}
+
+// RunOnGraph executes weighting and pruning on a prebuilt edge-list
+// graph (always the EdgeList engine). The graph's weights are
+// overwritten. Useful for ablations that reuse one graph across schemes.
 func RunOnGraph(g *graph.Graph, cfg Config) *Result {
 	t1 := time.Now()
 	cfg.Scheme.Apply(g)
 	t2 := time.Now()
-	var retained []int
-	switch cfg.Pruning {
-	case WEP:
-		retained = prune.WEP(g)
-	case CEP:
-		retained = prune.CEP(g, cfg.K)
-	case WNP1:
-		retained = prune.WNP(g, prune.Redefined)
-	case WNP2:
-		retained = prune.WNP(g, prune.Reciprocal)
-	case CNP1:
-		retained = prune.CNP(g, cfg.K, prune.Redefined)
-	case CNP2:
-		retained = prune.CNP(g, cfg.K, prune.Reciprocal)
-	case BlastWNP:
-		retained = prune.BlastWNP(g, cfg.C, cfg.D)
-	default:
-		panic(fmt.Sprintf("metablocking: unknown pruning %d", int(cfg.Pruning)))
-	}
+	retained := pruneGraph(g, cfg)
 	t3 := time.Now()
 	pairs := make([]model.IDPair, len(retained))
 	for i, idx := range retained {

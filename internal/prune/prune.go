@@ -40,6 +40,38 @@ func (m Mode) String() string {
 	return "redefined"
 }
 
+// cepBudget is CEP's default comparison budget: half the total number of
+// block memberships (sum |B_i| / 2), as in the meta-blocking literature.
+func cepBudget(blockCounts []int32) int {
+	total := 0
+	for _, c := range blockCounts {
+		total += int(c)
+	}
+	return total / 2
+}
+
+// cnpBudget is CNP's default per-node budget: the average number of
+// blocks per profile, max(1, round(sum |B_i| / |V|)) over the profiles
+// that appear in at least one block. Returns 0 when no profile does.
+func cnpBudget(blockCounts []int32) int {
+	total := 0
+	active := 0
+	for _, c := range blockCounts {
+		total += int(c)
+		if c > 0 {
+			active++
+		}
+	}
+	if active == 0 {
+		return 0
+	}
+	k := (total + active/2) / active
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
 // retained builds the sorted result slice from a keep mask.
 func retained(keep []bool) []int {
 	var out []int
@@ -80,11 +112,7 @@ func CEP(g *graph.Graph, k int) []int {
 		return nil
 	}
 	if k <= 0 {
-		total := 0
-		for _, c := range g.BlockCounts {
-			total += int(c)
-		}
-		k = total / 2
+		k = cepBudget(g.BlockCounts)
 	}
 	if k > len(g.Edges) {
 		k = len(g.Edges)
@@ -163,20 +191,9 @@ func CNP(g *graph.Graph, k int, mode Mode) []int {
 		return nil
 	}
 	if k <= 0 {
-		total := 0
-		active := 0
-		for _, c := range g.BlockCounts {
-			total += int(c)
-			if c > 0 {
-				active++
-			}
-		}
-		if active == 0 {
+		k = cnpBudget(g.BlockCounts)
+		if k == 0 {
 			return nil
-		}
-		k = (total + active/2) / active
-		if k < 1 {
-			k = 1
 		}
 	}
 	adj := g.Adjacency()

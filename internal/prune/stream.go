@@ -1,0 +1,213 @@
+// Streaming (node-centric) implementations of the pruning schemes over
+// the CSR blocking graph. Unlike the edge-list functions, which return
+// indexes into Graph.Edges, these consume graph.CSR — where no edge list
+// exists — and emit the retained pairs directly, in canonical (u, v)
+// order. For every scheme the retained set is identical to its edge-list
+// counterpart; the node-centric schemes run in two passes (thresholds
+// from each node's adjacency run, then retention), and even the global
+// schemes WEP/CEP need only an O(|E|) scalar scratch rather than a
+// materialized edge list.
+package prune
+
+import (
+	"slices"
+	"sort"
+
+	"blast/internal/graph"
+	"blast/internal/model"
+)
+
+// WEPStream is WEP over the CSR graph: discard every edge whose weight
+// is below the mean edge weight.
+func WEPStream(g *graph.CSR) []model.IDPair {
+	if g.NumEdges() == 0 {
+		return nil
+	}
+	sum := 0.0
+	g.Canonical(func(_, _ int32, p int64) { sum += g.Weights[p] })
+	theta := sum / float64(g.NumEdges())
+	var out []model.IDPair
+	g.Canonical(func(u, v int32, p int64) {
+		if w := g.Weights[p]; w >= theta && w > 0 {
+			out = append(out, model.IDPair{U: u, V: v})
+		}
+	})
+	return out
+}
+
+// CEPStream is CEP over the CSR graph: retain the globally top-k edges
+// by weight (k <= 0 uses the block-membership budget), breaking ties at
+// the cut in favor of canonically smaller pairs — the same tie rule as
+// the stable sort of the edge-list CEP. Only a flat weight scratch is
+// allocated, never the edges themselves.
+func CEPStream(g *graph.CSR, k int) []model.IDPair {
+	ne := g.NumEdges()
+	if ne == 0 {
+		return nil
+	}
+	if k <= 0 {
+		k = cepBudget(g.BlockCounts)
+	}
+	if k > ne {
+		k = ne
+	}
+	if k <= 0 {
+		return nil
+	}
+	ws := make([]float64, 0, ne)
+	g.Canonical(func(_, _ int32, p int64) { ws = append(ws, g.Weights[p]) })
+	sort.Float64s(ws)
+	// The cut weight and how many budget slots remain for edges that tie
+	// with it; edges strictly above the cut are always in.
+	cut := ws[ne-k]
+	greater := ne - sort.Search(ne, func(i int) bool { return ws[i] > cut })
+	rem := k - greater
+	var out []model.IDPair
+	g.Canonical(func(u, v int32, p int64) {
+		w := g.Weights[p]
+		take := w > cut
+		if !take && w == cut && rem > 0 {
+			take = true
+			rem-- // ties consume budget slots even if zero-filtered below
+		}
+		if take && w > 0 {
+			out = append(out, model.IDPair{U: u, V: v})
+		}
+	})
+	return out
+}
+
+// nodeThresholdsCSR computes a per-node threshold by reducing each
+// node's adjacent weights; nodes without edges get 0. The run is passed
+// in adjacency order, matching the edge-list nodeThresholds.
+func nodeThresholdsCSR(g *graph.CSR, reduce func(ws []float64) float64) []float64 {
+	th := make([]float64, g.NumProfiles)
+	for n := 0; n < g.NumProfiles; n++ {
+		lo, hi := g.Offsets[n], g.Offsets[n+1]
+		if lo == hi {
+			continue
+		}
+		th[n] = reduce(g.Weights[lo:hi])
+	}
+	return th
+}
+
+// WNPStream is WNP over the CSR graph: per-node mean-weight thresholds,
+// resolved per edge according to mode.
+func WNPStream(g *graph.CSR, mode Mode) []model.IDPair {
+	th := nodeThresholdsCSR(g, func(ws []float64) float64 {
+		s := 0.0
+		for _, w := range ws {
+			s += w
+		}
+		return s / float64(len(ws))
+	})
+	return emitByThreshold(g, func(w, thU, thV float64) bool {
+		overU := w >= thU
+		overV := w >= thV
+		if mode == Redefined {
+			return overU || overV
+		}
+		return overU && overV
+	}, th)
+}
+
+// BlastWNPStream is BLAST's pruning (Section 3.3.2) over the CSR graph:
+// theta_i = M_i / c per node, retain iff w >= (theta_u + theta_v) / d.
+func BlastWNPStream(g *graph.CSR, c, d float64) []model.IDPair {
+	if c <= 0 {
+		c = 2
+	}
+	if d <= 0 {
+		d = 2
+	}
+	th := nodeThresholdsCSR(g, func(ws []float64) float64 {
+		m := ws[0]
+		for _, w := range ws[1:] {
+			if w > m {
+				m = w
+			}
+		}
+		return m / c
+	})
+	return emitByThreshold(g, func(w, thU, thV float64) bool {
+		return w >= (thU+thV)/d
+	}, th)
+}
+
+// emitByThreshold runs the retention pass shared by the weight-based
+// node-centric schemes: every positive-weight canonical edge is tested
+// against its endpoints' thresholds.
+func emitByThreshold(g *graph.CSR, keep func(w, thU, thV float64) bool, th []float64) []model.IDPair {
+	var out []model.IDPair
+	g.Canonical(func(u, v int32, p int64) {
+		w := g.Weights[p]
+		if w <= 0 {
+			return
+		}
+		if keep(w, th[u], th[v]) {
+			out = append(out, model.IDPair{U: u, V: v})
+		}
+	})
+	return out
+}
+
+// CNPStream is CNP over the CSR graph: each node marks its top-k
+// adjacent edges by weight (stable on the adjacency order, like the
+// edge-list CNP), and an edge is retained if the marks of its endpoints
+// satisfy the mode.
+func CNPStream(g *graph.CSR, k int, mode Mode) []model.IDPair {
+	if g.NumEdges() == 0 {
+		return nil
+	}
+	if k <= 0 {
+		k = cnpBudget(g.BlockCounts)
+		if k == 0 {
+			return nil
+		}
+	}
+	mark := make([]bool, len(g.Neighbors))
+	var order []int64
+	for n := 0; n < g.NumProfiles; n++ {
+		lo, hi := g.Offsets[n], g.Offsets[n+1]
+		if lo == hi {
+			continue
+		}
+		order = order[:0]
+		for p := lo; p < hi; p++ {
+			order = append(order, p)
+		}
+		slices.SortStableFunc(order, func(a, b int64) int {
+			switch wa, wb := g.Weights[a], g.Weights[b]; {
+			case wa > wb:
+				return -1
+			case wa < wb:
+				return 1
+			default:
+				return 0
+			}
+		})
+		limit := k
+		if limit > len(order) {
+			limit = len(order)
+		}
+		for _, p := range order[:limit] {
+			mark[p] = true
+		}
+	}
+
+	var out []model.IDPair
+	g.CanonicalMirror(func(u, v int32, p, mp int64) {
+		if g.Weights[p] <= 0 {
+			return
+		}
+		keep := mark[p] || mark[mp]
+		if mode == Reciprocal {
+			keep = mark[p] && mark[mp]
+		}
+		if keep {
+			out = append(out, model.IDPair{U: u, V: v})
+		}
+	})
+	return out
+}

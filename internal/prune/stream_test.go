@@ -1,0 +1,123 @@
+package prune
+
+import (
+	"fmt"
+	"testing"
+
+	"blast/internal/blocking"
+	"blast/internal/datasets"
+	"blast/internal/graph"
+	"blast/internal/model"
+	"blast/internal/stats"
+	"blast/internal/weights"
+)
+
+// weightedPair builds both graph representations of a collection with
+// the same scheme applied.
+func weightedPairReps(c *blocking.Collection, s weights.Scheme) (*graph.Graph, *graph.CSR) {
+	g := graph.Build(c)
+	s.Apply(g)
+	csr := graph.BuildCSR(c)
+	s.ApplyCSR(csr)
+	return g, csr
+}
+
+// pairsOf materializes the pairs of retained edge indexes.
+func pairsOf(g *graph.Graph, idx []int) []model.IDPair {
+	out := make([]model.IDPair, len(idx))
+	for i, e := range idx {
+		out[i] = g.Edges[e].Pair()
+	}
+	return out
+}
+
+func comparePairs(t *testing.T, label string, want, got []model.IDPair) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d pairs, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: pair %d = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestStreamMatchesEdgeListOnRandomCollections drives every streaming
+// scheme against its edge-list counterpart on random collections.
+func TestStreamMatchesEdgeListOnRandomCollections(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		rng := stats.NewRNG(seed)
+		for _, kind := range []model.Kind{model.Dirty, model.CleanClean} {
+			c := blocking.RandomCollection(rng, kind, 40+rng.Intn(50), 30+rng.Intn(30))
+			for _, s := range []weights.Scheme{
+				{Kind: weights.CBS},
+				{Kind: weights.EJS},
+				{Kind: weights.ChiSquared, Entropy: true},
+			} {
+				g, csr := weightedPairReps(c, s)
+				label := fmt.Sprintf("seed=%d kind=%v %s", seed, kind, s.Name())
+				comparePairs(t, label+" wep", pairsOf(g, WEP(g)), WEPStream(csr))
+				comparePairs(t, label+" cep", pairsOf(g, CEP(g, 0)), CEPStream(csr, 0))
+				comparePairs(t, label+" cep5", pairsOf(g, CEP(g, 5)), CEPStream(csr, 5))
+				for _, mode := range []Mode{Redefined, Reciprocal} {
+					comparePairs(t, label+" wnp", pairsOf(g, WNP(g, mode)), WNPStream(csr, mode))
+					comparePairs(t, label+" cnp", pairsOf(g, CNP(g, 0, mode)), CNPStream(csr, 0, mode))
+					comparePairs(t, label+" cnp2", pairsOf(g, CNP(g, 2, mode)), CNPStream(csr, 2, mode))
+				}
+				comparePairs(t, label+" blast", pairsOf(g, BlastWNP(g, 2, 2)), BlastWNPStream(csr, 2, 2))
+				comparePairs(t, label+" blast41", pairsOf(g, BlastWNP(g, 4, 1)), BlastWNPStream(csr, 4, 1))
+			}
+		}
+	}
+}
+
+// TestStreamFigure1: the streaming BLAST pruning reproduces the paper
+// example exactly, like the edge-list one.
+func TestStreamFigure1(t *testing.T) {
+	ds := datasets.PaperExample()
+	c := blocking.TokenBlocking(ds)
+	csr := graph.BuildCSR(c)
+	weights.Blast().ApplyCSR(csr)
+	pairs := BlastWNPStream(csr, 2, 2)
+	if len(pairs) != 2 {
+		t.Fatalf("retained %d pairs, want 2", len(pairs))
+	}
+	for _, p := range pairs {
+		if !ds.Truth.Contains(int(p.U), int(p.V)) {
+			t.Errorf("retained non-match %v", p)
+		}
+	}
+}
+
+// TestStreamEmptyGraph: every streaming scheme must cope with an
+// edgeless graph.
+func TestStreamEmptyGraph(t *testing.T) {
+	c := &blocking.Collection{Kind: model.Dirty, NumProfiles: 3}
+	csr := graph.BuildCSR(c)
+	if WEPStream(csr) != nil || CEPStream(csr, 0) != nil ||
+		WNPStream(csr, Redefined) != nil || CNPStream(csr, 0, Reciprocal) != nil ||
+		BlastWNPStream(csr, 2, 2) != nil {
+		t.Error("empty graph must prune to nothing")
+	}
+}
+
+// TestStreamZeroWeightsNeverRetained mirrors the edge-list contract: a
+// zero weight means no evidence, so nothing is emitted even though the
+// thresholds degenerate to zero.
+func TestStreamZeroWeightsNeverRetained(t *testing.T) {
+	rng := stats.NewRNG(5)
+	c := blocking.RandomCollection(rng, model.Dirty, 30, 20)
+	csr := graph.BuildCSR(c) // weights left at zero
+	for name, pairs := range map[string][]model.IDPair{
+		"wep":   WEPStream(csr),
+		"cep":   CEPStream(csr, 0),
+		"wnp":   WNPStream(csr, Redefined),
+		"cnp":   CNPStream(csr, 0, Redefined),
+		"blast": BlastWNPStream(csr, 2, 2),
+	} {
+		if len(pairs) != 0 {
+			t.Errorf("%s retained %d zero-weight pairs", name, len(pairs))
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package weights
+
+import (
+	"testing"
+
+	"blast/internal/blocking"
+	"blast/internal/datasets"
+	"blast/internal/graph"
+	"blast/internal/model"
+	"blast/internal/stats"
+)
+
+// checkApplyCSRMatchesApply weights both representations of a collection
+// and asserts bit-identical per-edge weights, with each edge's weight
+// mirrored across its two CSR entries.
+func checkApplyCSRMatchesApply(t *testing.T, c *blocking.Collection, s Scheme) {
+	t.Helper()
+	g := graph.Build(c)
+	s.Apply(g)
+	csr := graph.BuildCSR(c)
+	s.ApplyCSR(csr)
+	for n := 0; n < csr.NumProfiles; n++ {
+		for p := csr.Offsets[n]; p < csr.Offsets[n+1]; p++ {
+			v := int(csr.Neighbors[p])
+			e := g.EdgeBetween(n, v)
+			if e == nil {
+				t.Fatalf("%s: edge (%d,%d) missing", s.Name(), n, v)
+			}
+			if csr.Weights[p] != e.Weight {
+				t.Fatalf("%s: weight(%d,%d) = %v, want %v", s.Name(), n, v, csr.Weights[p], e.Weight)
+			}
+		}
+	}
+}
+
+func TestApplyCSRMatchesApplyAllSchemes(t *testing.T) {
+	paper := blocking.TokenBlocking(datasets.PaperExample())
+	rng := stats.NewRNG(11)
+	random := blocking.RandomCollection(rng, model.CleanClean, 80, 50)
+	for _, c := range []*blocking.Collection{paper, random} {
+		for _, kind := range []Kind{CBS, ECBS, ARCS, JS, EJS, ChiSquared} {
+			checkApplyCSRMatchesApply(t, c, Scheme{Kind: kind})
+			checkApplyCSRMatchesApply(t, c, Scheme{Kind: kind, Entropy: true})
+		}
+	}
+}
+
+func TestWeigherMatchesApplyPerEdge(t *testing.T) {
+	c := blocking.TokenBlocking(datasets.PaperExample())
+	g := graph.Build(c)
+	s := Blast()
+	s.Apply(g)
+	w := s.Weigher(g.NumEdges(), g.TotalBlocks)
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		got := w.Weight(e.Common,
+			g.BlockCounts[e.U], g.BlockCounts[e.V],
+			g.Degrees[e.U], g.Degrees[e.V],
+			e.ARCS, e.EntropySum)
+		if got != e.Weight {
+			t.Errorf("edge (%d,%d): Weigher = %v, Apply = %v", e.U, e.V, got, e.Weight)
+		}
+	}
+}
+
+func TestWeigherPanicsOnUnknownKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown kind should panic")
+		}
+	}()
+	Scheme{Kind: Kind(42)}.Weigher(1, 1).Weight(1, 1, 1, 1, 1, 0, 0)
+}

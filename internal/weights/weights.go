@@ -80,46 +80,100 @@ func (s Scheme) Name() string {
 	return s.Kind.String()
 }
 
+// Weigher computes single-edge weights for a scheme over fixed
+// graph-level totals. Both the edge-list engine (Scheme.Apply) and the
+// node-centric engine (Scheme.ApplyCSR) funnel every edge through the
+// same Weigher, so the two representations carry bit-identical weights.
+type Weigher struct {
+	scheme         Scheme
+	numEdges       float64
+	totalBlocks    float64
+	totalBlocksInt int
+}
+
+// Weigher returns the per-edge weight function of the scheme for a graph
+// with the given edge and block totals.
+func (s Scheme) Weigher(numEdges, totalBlocks int) Weigher {
+	return Weigher{
+		scheme:         s,
+		numEdges:       float64(numEdges),
+		totalBlocks:    float64(totalBlocks),
+		totalBlocksInt: totalBlocks,
+	}
+}
+
+// Weight computes the weight of the edge (u, v) from its accumulators:
+// common = |B_uv|, bu/bv = |B_u|/|B_v|, du/dv = the node degrees, arcs
+// the ARCS mass and entropySum the aggregate entropy mass. Arguments
+// follow the canonical orientation (u < v): all schemes are symmetric,
+// but floating-point products are evaluated left to right, so callers
+// must pass the smaller endpoint's statistics first for reproducibility.
+func (w Weigher) Weight(common, bu, bv, du, dv int32, arcs, entropySum float64) float64 {
+	buF := float64(bu)
+	bvF := float64(bv)
+	commonF := float64(common)
+	var out float64
+	switch w.scheme.Kind {
+	case CBS:
+		out = commonF
+	case ECBS:
+		out = commonF * safeLog(w.totalBlocks/buF) * safeLog(w.totalBlocks/bvF)
+	case ARCS:
+		out = arcs
+	case JS:
+		if d := buF + bvF - commonF; d > 0 {
+			out = commonF / d
+		}
+	case EJS:
+		var js float64
+		if d := buF + bvF - commonF; d > 0 {
+			js = commonF / d
+		}
+		out = js * safeLog(w.numEdges/float64(du)) * safeLog(w.numEdges/float64(dv))
+	case ChiSquared:
+		tab := stats.NewContingency(int(common), int(bu), int(bv), w.totalBlocksInt)
+		out = tab.PositiveAssociation()
+	default:
+		panic(fmt.Sprintf("weights: unknown kind %d", int(w.scheme.Kind)))
+	}
+	if w.scheme.Entropy {
+		// h(B_uv), 1 when the edge has no recorded entropy mass — the
+		// same convention as Edge.EntropyMean.
+		h := 1.0
+		if common != 0 && entropySum != 0 {
+			h = entropySum / commonF
+		}
+		out *= h
+	}
+	return out
+}
+
 // Apply computes the weight of every edge of g in place.
 func (s Scheme) Apply(g *graph.Graph) {
-	numEdges := float64(g.NumEdges())
-	totalBlocks := float64(g.TotalBlocks)
+	w := s.Weigher(g.NumEdges(), g.TotalBlocks)
 	for i := range g.Edges {
 		e := &g.Edges[i]
-		bu := float64(g.BlockCounts[e.U])
-		bv := float64(g.BlockCounts[e.V])
-		common := float64(e.Common)
-		var w float64
-		switch s.Kind {
-		case CBS:
-			w = common
-		case ECBS:
-			w = common * safeLog(totalBlocks/bu) * safeLog(totalBlocks/bv)
-		case ARCS:
-			w = e.ARCS
-		case JS:
-			if d := bu + bv - common; d > 0 {
-				w = common / d
-			}
-		case EJS:
-			var js float64
-			if d := bu + bv - common; d > 0 {
-				js = common / d
-			}
-			du := float64(g.Degrees[e.U])
-			dv := float64(g.Degrees[e.V])
-			w = js * safeLog(numEdges/du) * safeLog(numEdges/dv)
-		case ChiSquared:
-			tab := stats.NewContingency(int(e.Common), int(g.BlockCounts[e.U]), int(g.BlockCounts[e.V]), g.TotalBlocks)
-			w = tab.PositiveAssociation()
-		default:
-			panic(fmt.Sprintf("weights: unknown kind %d", int(s.Kind)))
-		}
-		if s.Entropy {
-			w *= e.EntropyMean()
-		}
-		e.Weight = w
+		e.Weight = w.Weight(e.Common,
+			g.BlockCounts[e.U], g.BlockCounts[e.V],
+			g.Degrees[e.U], g.Degrees[e.V],
+			e.ARCS, e.EntropySum)
 	}
+}
+
+// ApplyCSR computes the weight of every adjacency entry of g in place.
+// Each undirected edge is weighted once, from its canonical (u < v)
+// entry, and mirrored into the reverse entry, so per-node passes observe
+// the same value from either endpoint.
+func (s Scheme) ApplyCSR(g *graph.CSR) {
+	w := s.Weigher(g.NumEdges(), g.TotalBlocks)
+	g.CanonicalMirror(func(u, v int32, p, mp int64) {
+		wt := w.Weight(g.Common[p],
+			g.BlockCounts[u], g.BlockCounts[v],
+			int32(g.Degree(int(u))), int32(g.Degree(int(v))),
+			g.ARCS[p], g.EntropySum[p])
+		g.Weights[p] = wt
+		g.Weights[mp] = wt
+	})
 }
 
 // safeLog returns log(x) clamped to 0 for x <= 1, keeping the
