@@ -11,6 +11,7 @@ package blast_test
 // cmd/blastbench to run any experiment at larger scales.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -451,6 +452,68 @@ func BenchmarkComponent_GraphBuildParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkRestructuredKey compares the restructured-block key
+// generation before/after the strconv rewrite: fmt.Sprintf("mb-%08d")
+// boxes its argument and runs the formatter state machine per pair,
+// the strconv-based append allocates only the final string.
+func BenchmarkRestructuredKey(b *testing.B) {
+	b.Run("sprintf", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if k := fmt.Sprintf("mb-%08d", i); len(k) < 11 {
+				b.Fatal("bad key")
+			}
+		}
+	})
+	b.Run("strconv", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if k := blast.MBKeyForBench(i); len(k) < 11 {
+				b.Fatal("bad key")
+			}
+		}
+	})
+}
+
+// BenchmarkRestructuredBlocks measures the full block restructuring of a
+// real result, the loop the strconv key rewrite targets.
+func BenchmarkRestructuredBlocks(b *testing.B) {
+	ds := datasets.AR1(0.2, 42)
+	res, err := blast.Run(ds, blast.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rb := res.RestructuredBlocks(); rb.Len() != len(res.Pairs) {
+			b.Fatal("bad restructuring")
+		}
+	}
+}
+
+// BenchmarkIndexCandidates measures the online serving path: one
+// per-profile candidate lookup on a frozen Index (the -exp query
+// experiment measures the same path across the registry datasets).
+func BenchmarkIndexCandidates(b *testing.B) {
+	ds := datasets.AR1(0.2, 42)
+	p, err := blast.NewPipeline(blast.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := p.BuildIndex(context.Background(), ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf []blast.Candidate
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = ix.AppendCandidates(buf[:0], i%ix.NumProfiles())
+	}
+	_ = buf
 }
 
 // BenchmarkExtension_Baselines compares the blocking substrates feeding

@@ -22,20 +22,27 @@
 // The package is the stable API surface of this repository; the
 // algorithmic building blocks live in internal/ packages (blocking,
 // attr, graph, weights, prune, metablocking, ...) and are composed here.
+//
+// Two entry styles are provided. Run (with the CleanClean and Dirty
+// wrappers) executes all three phases in one call. The staged Pipeline
+// exposes each phase as a context-aware call returning a reusable
+// artifact (Schema, Blocks, Result), and BuildIndex freezes a run into
+// an Index serving per-profile candidate queries online; both styles
+// produce byte-identical retained pairs.
 package blast
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
 	"blast/internal/attr"
 	"blast/internal/blocking"
-	"blast/internal/graph"
 	"blast/internal/metablocking"
 	"blast/internal/metrics"
 	"blast/internal/model"
-	"blast/internal/supervised"
 	"blast/internal/text"
 	"blast/internal/weights"
 )
@@ -144,6 +151,77 @@ type Options struct {
 	// Like Engine, ignored when Supervised is set (the supervised
 	// baseline always builds its graph serially).
 	Workers int
+
+	// Progress, when non-nil, observes pipeline execution: it is invoked
+	// synchronously as each phase or sub-stage completes ("induce",
+	// "block", "graph", "weight", "prune", "supervised", "index") with
+	// the stage's wall-clock duration. It must be fast and must not
+	// retain pipeline structures.
+	Progress Progress
+}
+
+// Progress observes pipeline execution. See Options.Progress.
+type Progress func(phase string, d time.Duration)
+
+// Validate checks the option values that the pipeline cannot interpret,
+// returning a descriptive error for the first violation found. It is
+// called by NewPipeline and Run; DefaultOptions always validates.
+func (o Options) Validate() error {
+	switch o.Induction {
+	case LMI, AC, NoInduction:
+	default:
+		return fmt.Errorf("blast: unknown induction %d", int(o.Induction))
+	}
+	if o.Induction != NoInduction {
+		// Alpha and LSH only drive attribute-match induction; like
+		// TrainFraction below, they are checked only when used.
+		if o.Alpha <= 0 || o.Alpha > 1 {
+			return fmt.Errorf("blast: Alpha = %v outside (0, 1]: the LMI candidate factor is a fraction of the per-attribute best similarity", o.Alpha)
+		}
+		if o.LSH != nil && (o.LSH.Rows < 1 || o.LSH.Bands < 1) {
+			return fmt.Errorf("blast: LSH rows/bands = %d/%d: both must be >= 1", o.LSH.Rows, o.LSH.Bands)
+		}
+	}
+	if o.PurgeRatio <= 0 || o.PurgeRatio > 1 {
+		return fmt.Errorf("blast: PurgeRatio = %v outside (0, 1]: it is the maximum fraction of all profiles a block may hold (1 disables purging)", o.PurgeRatio)
+	}
+	if o.FilterRatio <= 0 || o.FilterRatio > 1 {
+		return fmt.Errorf("blast: FilterRatio = %v outside (0, 1]: it is the fraction of each profile's blocks to keep (1 disables filtering)", o.FilterRatio)
+	}
+	switch o.Pruning {
+	case metablocking.WEP, metablocking.CEP, metablocking.WNP1, metablocking.WNP2,
+		metablocking.CNP1, metablocking.CNP2, metablocking.BlastWNP:
+	default:
+		return fmt.Errorf("blast: unknown pruning %d", int(o.Pruning))
+	}
+	switch o.Engine {
+	case metablocking.EdgeList, metablocking.NodeCentric:
+	default:
+		return fmt.Errorf("blast: unknown engine %d", int(o.Engine))
+	}
+	if o.C <= 0 {
+		return fmt.Errorf("blast: C = %v must be > 0: it divides the per-node maximum weight (theta_i = M_i/C)", o.C)
+	}
+	if o.D <= 0 {
+		return fmt.Errorf("blast: D = %v must be > 0: it divides the combined threshold (theta_u+theta_v)/D", o.D)
+	}
+	if o.K < -1 {
+		return fmt.Errorf("blast: K = %d must be >= -1 (<= 0 selects the scheme defaults)", o.K)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("blast: Workers = %d must be >= 0 (0 selects one worker per CPU)", o.Workers)
+	}
+	if o.Supervised && (o.TrainFraction <= 0 || o.TrainFraction > 1) {
+		return fmt.Errorf("blast: TrainFraction = %v outside (0, 1]: it is the fraction of ground-truth matches used for training", o.TrainFraction)
+	}
+	return nil
+}
+
+// progress reports a completed phase to the Progress observer, if any.
+func (o *Options) progress(phase string, d time.Duration) {
+	if o.Progress != nil {
+		o.Progress(phase, d)
+	}
 }
 
 // DefaultOptions returns the paper's configuration of BLAST.
@@ -204,7 +282,7 @@ func (r *Result) RestructuredBlocks() *blocking.Collection {
 	}
 	out.Blocks = make([]blocking.Block, 0, len(r.Pairs))
 	for i, p := range r.Pairs {
-		b := blocking.Block{Key: fmt.Sprintf("mb-%08d", i), Entropy: 1}
+		b := blocking.Block{Key: mbKey(i), Entropy: 1}
 		if out.Kind == model.CleanClean {
 			b.P1 = []int32{p.U}
 			b.P2 = []int32{p.V}
@@ -214,6 +292,22 @@ func (r *Result) RestructuredBlocks() *blocking.Collection {
 		out.Blocks = append(out.Blocks, b)
 	}
 	return out
+}
+
+// mbKey renders the restructured-block key "mb-%08d" without going
+// through fmt: one string allocation per key instead of Sprintf's
+// argument boxing and formatter state, which dominates the restructuring
+// loop on large outputs (see BenchmarkRestructuredKey).
+func mbKey(i int) string {
+	var digits [20]byte
+	d := strconv.AppendInt(digits[:0], int64(i), 10)
+	buf := make([]byte, 0, 3+8)
+	buf = append(buf, "mb-"...)
+	for pad := 8 - len(d); pad > 0; pad-- {
+		buf = append(buf, '0')
+	}
+	buf = append(buf, d...)
+	return string(buf)
 }
 
 // LooseSchemaReport renders the discovered attribute partitioning as a
@@ -244,78 +338,18 @@ func (r *Result) LooseSchemaReport() string {
 	return b.String()
 }
 
-// Run executes the BLAST pipeline on a dataset.
+// Run executes the BLAST pipeline on a dataset. It is a thin wrapper
+// over the staged Pipeline API — NewPipeline followed by Pipeline.Run
+// under the background context — and produces byte-identical Pairs.
+// Use a Pipeline directly to reuse phase artifacts (one *Schema across a
+// parameter sweep), cancel long runs, or serve per-profile candidate
+// queries through an Index.
 func Run(ds *model.Dataset, opt Options) (*Result, error) {
-	if err := ds.Validate(); err != nil {
+	p, err := NewPipeline(opt)
+	if err != nil {
 		return nil, err
 	}
-	if opt.Transform == nil {
-		opt.Transform = text.NewTokenizer()
-	}
-	res := &Result{}
-
-	// Phase 1: loose schema information extraction.
-	t0 := time.Now()
-	keyFunc := blocking.TokenKey
-	switch opt.Induction {
-	case NoInduction:
-		// keep TokenKey
-	case LMI, AC:
-		profiles := attr.ExtractProfiles(ds, opt.Transform)
-		cfg := attr.Config{Alpha: opt.Alpha, Glue: opt.Glue}
-		if opt.TFIDF {
-			cfg.Representation = attr.TFIDF
-		}
-		if opt.LSH != nil {
-			cfg.LSH = &attr.LSHConfig{Rows: opt.LSH.Rows, Bands: opt.LSH.Bands, Seed: opt.LSH.Seed ^ opt.Seed}
-		}
-		if opt.Induction == LMI {
-			res.Partitioning = attr.LMI(profiles, ds.Kind, cfg)
-		} else {
-			res.Partitioning = attr.AC(profiles, ds.Kind, cfg)
-		}
-		keyFunc = res.Partitioning.KeyFunc()
-	default:
-		return nil, fmt.Errorf("blast: unknown induction %d", int(opt.Induction))
-	}
-	res.InductionTime = time.Since(t0)
-
-	// Phase 2: (loosely schema-aware) blocking + purging + filtering.
-	t1 := time.Now()
-	blocks := blocking.Build(ds, opt.Transform, keyFunc)
-	blocks = blocking.CleanWorkflow(blocks, opt.PurgeRatio, opt.FilterRatio)
-	res.Blocks = blocks
-	res.BlockTime = time.Since(t1)
-
-	// Phase 3: meta-blocking.
-	t2 := time.Now()
-	if opt.Supervised {
-		g := graph.Build(blocks)
-		sup := supervised.Run(g, ds.Truth, supervised.Config{
-			TrainFraction: opt.TrainFraction,
-			NegativeRatio: 1,
-			Seed:          opt.Seed,
-		})
-		res.Pairs = sup.Pairs
-	} else {
-		mb := metablocking.Run(blocks, metablocking.Config{
-			Scheme:  opt.Scheme,
-			Pruning: opt.Pruning,
-			Engine:  opt.Engine,
-			C:       opt.C,
-			D:       opt.D,
-			K:       opt.K,
-			Workers: opt.Workers,
-		})
-		res.Pairs = mb.Pairs
-	}
-	res.MetaTime = time.Since(t2)
-
-	if ds.Truth != nil && ds.Truth.Size() > 0 {
-		res.Quality = metrics.EvaluatePairs(res.Pairs, ds.Truth)
-		res.BlockQuality = metrics.EvaluateBlocks(blocks, ds.Truth)
-	}
-	return res, nil
+	return p.Run(context.Background(), ds)
 }
 
 // CleanClean is a convenience wrapper building the dataset from two

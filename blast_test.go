@@ -15,7 +15,7 @@ func TestRunPaperExample(t *testing.T) {
 	// two true matches.
 	ds := datasets.PaperExample()
 	opt := DefaultOptions()
-	opt.PurgeRatio = 1.01 // the 4-profile example would purge "abram" at 0.5
+	opt.PurgeRatio = 1.0  // the 4-profile example would purge "abram" at 0.5
 	opt.FilterRatio = 1.0 // keep all blocks: the example has no filtering
 	res, err := Run(ds, opt)
 	if err != nil {
@@ -149,7 +149,7 @@ func TestRunNilTransformDefaults(t *testing.T) {
 	ds := datasets.PaperExample()
 	opt := DefaultOptions()
 	opt.Transform = nil
-	opt.PurgeRatio = 1.01
+	opt.PurgeRatio = 1.0
 	opt.FilterRatio = 1.0
 	if _, err := Run(ds, opt); err != nil {
 		t.Errorf("nil transform should default: %v", err)
@@ -258,7 +258,7 @@ func TestRestructuredBlocks(t *testing.T) {
 func TestLooseSchemaReport(t *testing.T) {
 	ds := datasets.PaperExample()
 	opt := DefaultOptions()
-	opt.PurgeRatio = 1.01
+	opt.PurgeRatio = 1.0
 	opt.FilterRatio = 1.0
 	res, err := Run(ds, opt)
 	if err != nil {

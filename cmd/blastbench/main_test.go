@@ -38,6 +38,15 @@ func TestRunEnginesExperiment(t *testing.T) {
 	}
 }
 
+func TestRunQueryExperiment(t *testing.T) {
+	if err := run(tinyCfg(), "query", "ar1", false); err != nil {
+		t.Errorf("query text: %v", err)
+	}
+	if err := run(tinyCfg(), "query", "census", true); err != nil {
+		t.Errorf("query json: %v", err)
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run(tinyCfg(), "table99", "", false); err == nil {
 		t.Error("unknown experiment should error")

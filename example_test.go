@@ -1,6 +1,7 @@
 package blast_test
 
 import (
+	"context"
 	"fmt"
 
 	"blast"
@@ -13,7 +14,7 @@ import (
 func ExampleRun() {
 	ds := datasets.PaperExample()
 	opt := blast.DefaultOptions()
-	opt.PurgeRatio = 1.01 // tiny example: skip purging
+	opt.PurgeRatio = 1.0  // tiny example: skip purging
 	opt.FilterRatio = 1.0 // ... and filtering
 	res, err := blast.Run(ds, opt)
 	if err != nil {
@@ -65,6 +66,73 @@ func ExampleCleanClean() {
 	// compare a1 with b1
 }
 
+// ExampleIndex_Candidates serves per-profile candidate queries from a
+// frozen Index: the online counterpart of the batch pipeline, answering
+// "who should this profile be compared against?" in O(degree) per query.
+func ExampleIndex_Candidates() {
+	ds := datasets.PaperExample()
+	opt := blast.DefaultOptions()
+	opt.PurgeRatio = 1.0  // tiny example: skip purging
+	opt.FilterRatio = 1.0 // ... and filtering
+	p, err := blast.NewPipeline(opt)
+	if err != nil {
+		panic(err)
+	}
+	ix, err := p.BuildIndex(context.Background(), ds)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < ix.NumProfiles(); i++ {
+		for _, c := range ix.Candidates(i) {
+			fmt.Printf("%s -> %s\n", ds.Profile(i).ID, ds.Profile(int(c.ID)).ID)
+		}
+	}
+	// Output:
+	// p1 -> p3
+	// p2 -> p4
+	// p3 -> p1
+	// p4 -> p2
+}
+
+// ExamplePipeline_MetaBlock sweeps BLAST's c threshold over one shared
+// Blocks artifact: Phases 1-2 run once, every configuration re-runs
+// only the meta-blocking phase.
+func ExamplePipeline_MetaBlock() {
+	ds := datasets.PaperExample()
+	opt := blast.DefaultOptions()
+	opt.PurgeRatio = 1.0
+	opt.FilterRatio = 1.0
+	base, err := blast.NewPipeline(opt)
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+	schema, err := base.InduceSchema(ctx, ds)
+	if err != nil {
+		panic(err)
+	}
+	blocks, err := base.Block(ctx, ds, schema)
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range []float64{0.5, 2} {
+		sweep := opt
+		sweep.C = c
+		p, err := blast.NewPipeline(sweep)
+		if err != nil {
+			panic(err)
+		}
+		res, err := p.MetaBlock(ctx, blocks)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("c=%v retains %d comparisons\n", c, len(res.Pairs))
+	}
+	// Output:
+	// c=0.5 retains 0 comparisons
+	// c=2 retains 2 comparisons
+}
+
 // ExampleDirty deduplicates a single collection.
 func ExampleDirty() {
 	e := model.NewCollection("contacts")
@@ -78,7 +146,7 @@ func ExampleDirty() {
 		e.Append(p)
 	}
 	opt := blast.DefaultOptions()
-	opt.PurgeRatio = 1.01
+	opt.PurgeRatio = 1.0
 	opt.FilterRatio = 1.0
 	res, err := blast.Dirty(e, nil, opt)
 	if err != nil {

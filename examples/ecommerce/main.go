@@ -1,12 +1,14 @@
 // Ecommerce demonstrates the public API on hand-written data: two tiny
 // product catalogs with different schemas, no schema alignment, built
 // directly with model.Collection — the way a downstream user would feed
-// their own data to BLAST.
+// their own data to BLAST. It ends on the online serving path: the same
+// pipeline frozen into an Index answering per-product candidate queries.
 //
 //	go run ./examples/ecommerce
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -57,9 +59,25 @@ func run() error {
 	truth.Add(1, 5) // a2 ~ b2
 	truth.Add(2, 6) // a3 ~ b3
 
+	// The staged pipeline keeps the phase artifacts, so the batch result
+	// and the serving index below share one schema and one block build.
 	opt := blast.DefaultOptions()
 	opt.FilterRatio = 1.0 // tiny dataset: keep all block memberships
-	res, err := blast.CleanClean(a, b, truth, opt)
+	p, err := blast.NewPipeline(opt)
+	if err != nil {
+		return err
+	}
+	ds := &model.Dataset{Name: "catalogs", Kind: model.CleanClean, E1: a, E2: b, Truth: truth}
+	ctx := context.Background()
+	schema, err := p.InduceSchema(ctx, ds)
+	if err != nil {
+		return err
+	}
+	blocks, err := p.Block(ctx, ds, schema)
+	if err != nil {
+		return err
+	}
+	res, err := p.MetaBlock(ctx, blocks)
 	if err != nil {
 		return err
 	}
@@ -86,6 +104,28 @@ func run() error {
 		fmt.Printf("  %s %s <-> %s\n", mark, idOf(a, b, u), idOf(a, b, v))
 	}
 	fmt.Printf("\nPC=%.0f%% PQ=%.0f%% (* = true duplicate)\n", res.Quality.PC*100, res.Quality.PQ*100)
+
+	// The online path: freeze the already-computed Blocks artifact into a
+	// candidate-serving Index — only the graph/weight/prune step runs —
+	// and answer per-profile queries: "which catalog-B offers should
+	// this catalog-A product be compared against?"
+	ix, err := p.IndexBlocks(ctx, blocks)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nonline serving: index over %d profiles, %d graph edges, %d retained\n",
+		ix.NumProfiles(), ix.NumEdges(), ix.NumRetained())
+	for _, global := range []int{0, 1, 3} {
+		cands := ix.Candidates(global)
+		fmt.Printf("  candidates of %s (theta=%.2f):", idOf(a, b, global), ix.Threshold(global))
+		if len(cands) == 0 {
+			fmt.Print(" none")
+		}
+		for _, c := range cands {
+			fmt.Printf(" %s(w=%.1f)", idOf(a, b, int(c.ID)), c.Weight)
+		}
+		fmt.Println()
+	}
 	return nil
 }
 

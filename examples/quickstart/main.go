@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -59,11 +60,27 @@ func run() error {
 		fmt.Printf("  retained %s-%s  (%s)\n", ds.Profile(int(p.U)).ID, ds.Profile(int(p.V)).ID, marker)
 	}
 
-	// --- Figures 2-3: the full BLAST pipeline ----------------------
+	// --- Figures 2-3: the full BLAST pipeline, phase by phase ------
+	// The staged API makes each paper phase a call returning a reusable
+	// artifact: the schema of Figure 2, the disambiguated blocks of
+	// Figure 2a, the pruned result of Figure 3c.
 	opt := blast.DefaultOptions()
-	opt.PurgeRatio = 1.01 // the 4-profile example needs no purging
+	opt.PurgeRatio = 1.0  // the 4-profile example needs no purging
 	opt.FilterRatio = 1.0 // ... nor filtering
-	res, err := blast.Run(ds, opt)
+	pipe, err := blast.NewPipeline(opt)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	schema, err := pipe.InduceSchema(ctx, ds)
+	if err != nil {
+		return err
+	}
+	disamb, err := pipe.Block(ctx, ds, schema)
+	if err != nil {
+		return err
+	}
+	res, err := pipe.MetaBlock(ctx, disamb)
 	if err != nil {
 		return err
 	}

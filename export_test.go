@@ -1,0 +1,7 @@
+package blast
+
+// Test-only exports bridging the external test package (blast_test) to
+// unexported internals.
+
+// MBKeyForBench exposes mbKey to the benchmark suite.
+func MBKeyForBench(i int) string { return mbKey(i) }

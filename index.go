@@ -1,0 +1,240 @@
+package blast
+
+// The candidate-serving Index: the blocking-and-filtering literature
+// frames blocking as an index you build once and probe many times, and
+// BLAST's pruning thresholds are node-local (theta_i = M_i/c), so the
+// weighted, pruned blocking graph freezes naturally into a per-profile
+// lookup structure. Index is the online counterpart of the batch
+// pipeline — Candidates answers "who should profile i be compared
+// against?" in O(degree(i)) without touching any other node's state —
+// and the stepping stone toward incremental meta-blocking (profile
+// insertions only dirty the adjacency runs of co-blocked nodes).
+
+import (
+	"context"
+	"errors"
+	"slices"
+	"time"
+
+	"blast/internal/blocking"
+	"blast/internal/graph"
+	"blast/internal/metablocking"
+	"blast/internal/model"
+	"blast/internal/prune"
+)
+
+var errSupervisedIndex = errors.New("blast: supervised meta-blocking has no candidate-serving index form")
+
+// Candidate is one candidate comparison served by Index.Candidates: a
+// co-candidate profile and the BLAST edge weight that retained it.
+type Candidate struct {
+	// ID is the global profile id of the co-candidate.
+	ID int32
+	// Weight is the edge weight under the index's weighting scheme.
+	Weight float64
+}
+
+// Index is the frozen, queryable form of a completed pipeline run: the
+// cleaned block collection, the CSR adjacency with final edge weights,
+// the per-node pruning thresholds, and the per-entry retention decision.
+// It is immutable after construction and safe for concurrent queries.
+type Index struct {
+	kind       model.Kind
+	collection *blocking.Collection
+	schema     *Schema
+	csr        *graph.CSR
+	retained   []bool
+	theta      []float64
+	pairs      []model.IDPair
+	buildTime  time.Duration
+}
+
+// BuildIndex runs the full pipeline on the dataset and freezes the
+// outcome into a candidate-serving Index: InduceSchema, Block, then
+// IndexBlocks. Supervised meta-blocking has no per-node decision
+// structure and is rejected.
+func (p *Pipeline) BuildIndex(ctx context.Context, ds *model.Dataset) (*Index, error) {
+	if p.opt.Supervised {
+		// Fail before the expensive phases: the configuration alone
+		// decides this.
+		return nil, errSupervisedIndex
+	}
+	sch, err := p.InduceSchema(ctx, ds)
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := p.Block(ctx, ds, sch)
+	if err != nil {
+		return nil, err
+	}
+	return p.IndexBlocks(ctx, blocks)
+}
+
+// IndexBlocks freezes a Blocks artifact into an Index: the node-centric
+// (CSR) blocking graph is built and weighted, the configured pruning
+// decides retention, and the per-entry decisions are kept alongside the
+// weights for per-profile lookup. The engine option is ignored — an
+// index is by nature node-centric — but the retained pairs are
+// byte-identical to both engines' batch output.
+func (p *Pipeline) IndexBlocks(ctx context.Context, blocks *Blocks) (*Index, error) {
+	if p.opt.Supervised {
+		return nil, errSupervisedIndex
+	}
+	if blocks == nil || blocks.Collection == nil {
+		return nil, errors.New("blast: IndexBlocks requires a non-nil Blocks artifact")
+	}
+	t0 := time.Now()
+	c := blocks.Collection
+	csr, err := graph.BuildCSRParallelCtx(ctx, c, p.opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	p.opt.Scheme.ApplyCSR(csr)
+	csr.ReleaseStats()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	pairs, err := metablocking.PruneCSR(ctx, csr, p.metaConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	// Mark both entries of every retained edge. The pruning schemes emit
+	// pairs in canonical order — the exact order CanonicalMirrorCtx
+	// visits edges — so a single merge pass resolves pair -> entry.
+	retained := make([]bool, len(csr.Neighbors))
+	next := 0
+	err = csr.CanonicalMirrorCtx(ctx, func(u, v int32, pos, mirror int64) {
+		if next < len(pairs) && pairs[next].U == u && pairs[next].V == v {
+			retained[pos] = true
+			retained[mirror] = true
+			next++
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	theta, err := nodeThresholds(ctx, csr, p.opt)
+	if err != nil {
+		return nil, err
+	}
+
+	ix := &Index{
+		kind:       c.Kind,
+		collection: c,
+		schema:     blocks.Schema,
+		csr:        csr,
+		retained:   retained,
+		theta:      theta,
+		pairs:      pairs,
+		buildTime:  time.Since(t0),
+	}
+	p.opt.progress("index", ix.buildTime)
+	return ix, nil
+}
+
+// nodeThresholds materializes the per-node pruning thresholds theta_i
+// for the threshold-based schemes through the same prune reducers the
+// retention decision used (one extra O(E) pass over the adjacency
+// weights — small next to the graph build). Global and cardinality
+// schemes have no per-node threshold and yield nil.
+func nodeThresholds(ctx context.Context, csr *graph.CSR, opt Options) ([]float64, error) {
+	switch opt.Pruning {
+	case metablocking.BlastWNP:
+		return prune.BlastThresholds(ctx, csr, opt.C)
+	case metablocking.WNP1, metablocking.WNP2:
+		return prune.MeanThresholds(ctx, csr)
+	default:
+		return nil, nil
+	}
+}
+
+// NumProfiles returns the number of profiles the index covers.
+func (ix *Index) NumProfiles() int { return ix.csr.NumProfiles }
+
+// NumEdges returns the number of distinct comparisons of the underlying
+// blocking graph (before pruning).
+func (ix *Index) NumEdges() int { return ix.csr.NumEdges() }
+
+// NumRetained returns the number of comparisons the pruning retained —
+// the length of Pairs.
+func (ix *Index) NumRetained() int { return len(ix.pairs) }
+
+// Kind returns the ER setting of the indexed dataset.
+func (ix *Index) Kind() model.Kind { return ix.kind }
+
+// Schema returns the Phase 1 artifact the index was blocked under (nil
+// for a schema-agnostic index).
+func (ix *Index) Schema() *Schema { return ix.schema }
+
+// Blocks returns the cleaned block collection the index was built from.
+// The collection is shared with the index and must not be modified.
+func (ix *Index) Blocks() *blocking.Collection { return ix.collection }
+
+// BuildTime returns the wall-clock time IndexBlocks spent freezing the
+// index (graph, weighting, pruning and retention marks).
+func (ix *Index) BuildTime() time.Duration { return ix.buildTime }
+
+// Threshold returns theta_i, the node-local pruning threshold of a
+// profile, for the threshold-based schemes (BlastWNP, WNP1, WNP2); 0 for
+// profiles without edges, out-of-range ids, or schemes without per-node
+// thresholds. The node-locality of theta_i is what makes per-profile
+// serving (and, prospectively, incremental updates) possible.
+func (ix *Index) Threshold(profile int) float64 {
+	if ix.theta == nil || profile < 0 || profile >= len(ix.theta) {
+		return 0
+	}
+	return ix.theta[profile]
+}
+
+// Candidates returns the retained candidate comparisons of one profile,
+// ordered by descending weight (ties by ascending id). The result is
+// freshly allocated; use AppendCandidates to amortize allocations in a
+// serving loop.
+func (ix *Index) Candidates(profile int) []Candidate {
+	return ix.AppendCandidates(nil, profile)
+}
+
+// AppendCandidates appends the retained candidate comparisons of one
+// profile to buf and returns the extended slice, ordering the appended
+// portion by descending weight (ties by ascending id). Out-of-range
+// profiles append nothing. Cost is O(degree) plus the sort of the
+// retained run; no allocation occurs when buf has capacity.
+func (ix *Index) AppendCandidates(buf []Candidate, profile int) []Candidate {
+	if profile < 0 || profile >= ix.csr.NumProfiles {
+		return buf
+	}
+	start := len(buf)
+	lo, hi := ix.csr.Offsets[profile], ix.csr.Offsets[profile+1]
+	for p := lo; p < hi; p++ {
+		if ix.retained[p] {
+			buf = append(buf, Candidate{ID: ix.csr.Neighbors[p], Weight: ix.csr.Weights[p]})
+		}
+	}
+	out := buf[start:]
+	slices.SortFunc(out, func(a, b Candidate) int {
+		switch {
+		case a.Weight > b.Weight:
+			return -1
+		case a.Weight < b.Weight:
+			return 1
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return buf
+}
+
+// Pairs returns the full batch output of the index: every retained
+// comparison in canonical order, byte-identical to the Pairs of the
+// staged pipeline and of legacy Run under the same options. The slice is
+// freshly allocated and owned by the caller.
+func (ix *Index) Pairs() []model.IDPair {
+	return append([]model.IDPair(nil), ix.pairs...)
+}

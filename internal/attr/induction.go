@@ -1,6 +1,7 @@
 package attr
 
 import (
+	"context"
 	"sync"
 
 	"blast/internal/lsh"
@@ -52,10 +53,16 @@ type pairSim struct {
 	sim  float64
 }
 
+// inductionCancelCheckEvery is the chunk granularity at which the pair
+// enumeration and scoring loops poll for cancellation.
+const inductionCancelCheckEvery = 1024
+
 // enumeratePairs lists the attribute pairs to score: all cross-source
 // pairs for clean-clean ER, all unordered pairs for dirty ER, or the LSH
-// candidates when configured. Pairs are returned with i < j.
-func enumeratePairs(profiles []Profile, kind model.Kind, cfg Config) []pairSim {
+// candidates when configured. Pairs are returned with i < j. The
+// quadratic scan checks ctx once per outer row; the LSH path checks
+// before and after candidate generation.
+func enumeratePairs(ctx context.Context, profiles []Profile, kind model.Kind, cfg Config) ([]pairSim, error) {
 	var out []pairSim
 	cross := func(i, j int) bool {
 		if kind == model.CleanClean {
@@ -64,6 +71,9 @@ func enumeratePairs(profiles []Profile, kind model.Kind, cfg Config) []pairSim {
 		return true
 	}
 	if cfg.LSH != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rows, bands := cfg.LSH.Rows, cfg.LSH.Bands
 		signer := lsh.NewSigner(rows*bands, cfg.LSH.Seed)
 		ix := lsh.NewIndex(rows, bands)
@@ -73,23 +83,29 @@ func enumeratePairs(profiles []Profile, kind model.Kind, cfg Config) []pairSim {
 		for _, c := range ix.Candidates(func(a, b int32) bool { return cross(int(a), int(b)) }) {
 			out = append(out, pairSim{i: int(c.A), j: int(c.B)})
 		}
-		return out
+		return out, ctx.Err()
 	}
 	for i := 0; i < len(profiles); i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for j := i + 1; j < len(profiles); j++ {
 			if cross(i, j) {
 				out = append(out, pairSim{i: i, j: j})
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // scorePairs computes the exact similarity of each enumerated pair under
 // the configured representation, dropping pairs with zero similarity or
 // below cfg.MinSim. With cfg.Workers > 1 scoring is chunked across
 // goroutines; the filtered output order is identical to the serial scan.
-func scorePairs(profiles []Profile, pairs []pairSim, cfg Config) []pairSim {
+// Cancellation is observed at worker-chunk granularity: each scoring
+// chunk (and the serial scan) polls ctx every few thousand pairs and
+// abandons its remainder, after which scorePairs returns ctx.Err().
+func scorePairs(ctx context.Context, profiles []Profile, pairs []pairSim, cfg Config) ([]pairSim, error) {
 	var view *weightedView
 	if cfg.Representation == TFIDF {
 		view = buildTFIDF(profiles)
@@ -113,11 +129,17 @@ func scorePairs(profiles []Profile, pairs []pairSim, cfg Config) []pairSim {
 			go func(span []pairSim) {
 				defer wg.Done()
 				for k := range span {
+					if k%inductionCancelCheckEvery == 0 && ctx.Err() != nil {
+						return
+					}
 					span[k].sim = score(span[k])
 				}
 			}(pairs[start:end])
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		out := pairs[:0]
 		for _, p := range pairs {
 			if p.sim <= 0 || p.sim < cfg.MinSim {
@@ -125,11 +147,16 @@ func scorePairs(profiles []Profile, pairs []pairSim, cfg Config) []pairSim {
 			}
 			out = append(out, p)
 		}
-		return out
+		return out, nil
 	}
 
 	out := pairs[:0]
-	for _, p := range pairs {
+	for k, p := range pairs {
+		if k%inductionCancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		s := score(p)
 		if s <= 0 || s < cfg.MinSim {
 			continue
@@ -137,7 +164,7 @@ func scorePairs(profiles []Profile, pairs []pairSim, cfg Config) []pairSim {
 		p.sim = s
 		out = append(out, p)
 	}
-	return out
+	return out, nil
 }
 
 // LMI runs Loose attribute-Match Induction (Algorithm 1 of the paper)
@@ -151,10 +178,25 @@ func scorePairs(profiles []Profile, pairs []pairSim, cfg Config) []pairSim {
 // LMI produces cohesive clusters: an edge requires both endpoints to rank
 // each other among their near-best matches.
 func LMI(profiles []Profile, kind model.Kind, cfg Config) *Partitioning {
+	p, _ := LMICtx(context.Background(), profiles, kind, cfg)
+	return p
+}
+
+// LMICtx is LMI with cooperative cancellation: pair enumeration and
+// scoring poll ctx at chunk granularity and the whole induction returns
+// ctx.Err() as soon as cancellation is observed.
+func LMICtx(ctx context.Context, profiles []Profile, kind model.Kind, cfg Config) (*Partitioning, error) {
 	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
 		cfg.Alpha = 0.9
 	}
-	pairs := scorePairs(profiles, enumeratePairs(profiles, kind, cfg), cfg)
+	enum, err := enumeratePairs(ctx, profiles, kind, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pairs, err := scorePairs(ctx, profiles, enum, cfg)
+	if err != nil {
+		return nil, err
+	}
 
 	// Lines 2-8: track the maximum similarity per attribute.
 	maxSim := make([]float64, len(profiles))
@@ -194,7 +236,7 @@ func LMI(profiles []Profile, kind model.Kind, cfg Config) *Partitioning {
 	}
 
 	// Line 17: connected components with cardinality > 1.
-	return buildPartitioning(profiles, uf, cfg.Glue)
+	return buildPartitioning(profiles, uf, cfg.Glue), nil
 }
 
 // AC runs the Attribute Clustering baseline (Papadakis et al., TKDE'13):
@@ -203,7 +245,20 @@ func LMI(profiles []Profile, kind model.Kind, cfg Config) *Partitioning {
 // links form the clusters. Compared to LMI it tends to chain attributes
 // transitively ("similar to other similar attributes", Section 4.3).
 func AC(profiles []Profile, kind model.Kind, cfg Config) *Partitioning {
-	pairs := scorePairs(profiles, enumeratePairs(profiles, kind, cfg), cfg)
+	p, _ := ACCtx(context.Background(), profiles, kind, cfg)
+	return p
+}
+
+// ACCtx is AC with cooperative cancellation, mirroring LMICtx.
+func ACCtx(ctx context.Context, profiles []Profile, kind model.Kind, cfg Config) (*Partitioning, error) {
+	enum, err := enumeratePairs(ctx, profiles, kind, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pairs, err := scorePairs(ctx, profiles, enum, cfg)
+	if err != nil {
+		return nil, err
+	}
 
 	best := make([]int, len(profiles))
 	bestSim := make([]float64, len(profiles))
@@ -225,5 +280,5 @@ func AC(profiles []Profile, kind model.Kind, cfg Config) *Partitioning {
 			uf.union(i, j)
 		}
 	}
-	return buildPartitioning(profiles, uf, cfg.Glue)
+	return buildPartitioning(profiles, uf, cfg.Glue), nil
 }

@@ -1,6 +1,8 @@
 package blocking
 
 import (
+	"context"
+
 	"blast/internal/model"
 	"blast/internal/text"
 )
@@ -53,6 +55,20 @@ func SchemaKey(align map[[2]string]string) KeyFunc {
 // entail no comparison — fewer than two profiles, or a one-sided block in
 // clean-clean ER — are dropped. Blocks are returned sorted by key.
 func Build(ds *model.Dataset, tr text.Transform, key KeyFunc) *Collection {
+	c, _ := BuildCtx(context.Background(), ds, tr, key)
+	return c
+}
+
+// buildCancelCheckEvery is the profile-chunk granularity at which BuildCtx
+// polls for cancellation: fine enough that a cancelled build stops within
+// a few hundred profiles, coarse enough that the check never shows up in a
+// profile.
+const buildCancelCheckEvery = 512
+
+// BuildCtx is Build with cooperative cancellation: the profile-indexing
+// loop checks ctx every few hundred profiles and returns ctx.Err() as soon
+// as cancellation is observed, discarding the partial collection.
+func BuildCtx(ctx context.Context, ds *model.Dataset, tr text.Transform, key KeyFunc) (*Collection, error) {
 	type acc struct {
 		p1, p2  []int32
 		entropy float64
@@ -83,11 +99,21 @@ func Build(ds *model.Dataset, tr text.Transform, key KeyFunc) *Collection {
 	}
 
 	for i := range ds.E1.Profiles {
+		if i%buildCancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		addProfile(i, 0, &ds.E1.Profiles[i])
 	}
 	if ds.Kind == model.CleanClean {
 		off := ds.E1.Len()
 		for i := range ds.E2.Profiles {
+			if i%buildCancelCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			addProfile(off+i, 1, &ds.E2.Profiles[i])
 		}
 	}
@@ -111,7 +137,7 @@ func Build(ds *model.Dataset, tr text.Transform, key KeyFunc) *Collection {
 		c.Blocks = append(c.Blocks, b)
 	}
 	c.sortBlocks()
-	return c
+	return c, nil
 }
 
 // TokenBlocking builds the paper's baseline: schema-agnostic Token

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"blast"
+	"blast/internal/datasets"
+)
+
+// QueryRow summarizes the online candidate-serving path on one registry
+// dataset: the cost of freezing the Index and the latency distribution
+// of single-profile Index.Candidates lookups.
+type QueryRow struct {
+	Dataset        string        `json:"dataset"`
+	Profiles       int           `json:"profiles"`
+	Edges          int           `json:"edges"`
+	RetainedPairs  int           `json:"retained_pairs"`
+	BuildTime      time.Duration `json:"build_ns"`
+	Queries        int           `json:"queries"`
+	MeanCandidates float64       `json:"mean_candidates"`
+	P50            time.Duration `json:"p50_ns"`
+	P95            time.Duration `json:"p95_ns"`
+	P99            time.Duration `json:"p99_ns"`
+	Max            time.Duration `json:"max_ns"`
+	Throughput     float64       `json:"queries_per_sec"`
+}
+
+// queryMaxSamples caps the number of profiles queried per dataset; above
+// it, profiles are sampled with a uniform stride so the distribution
+// still covers the whole id space.
+const queryMaxSamples = 4096
+
+// Query builds a candidate-serving Index for each named registry dataset
+// (default: all of them) and measures single-profile Candidates()
+// latency and throughput over a stride sample of the profiles. Queries
+// run through AppendCandidates with one reused buffer — the allocation
+// discipline of a serving loop — so the reported latency is the lookup,
+// not the garbage.
+func Query(cfg Config, names []string) ([]QueryRow, error) {
+	if len(names) == 0 {
+		names = datasets.AllNames()
+	}
+	ctx := context.Background()
+	var out []QueryRow
+	for _, name := range names {
+		ds, err := cfg.load(name)
+		if err != nil {
+			return nil, err
+		}
+		p, err := blast.NewPipeline(blast.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		ix, err := p.BuildIndex(ctx, ds)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		build := time.Since(t0)
+
+		n := ix.NumProfiles()
+		stride := 1
+		if n > queryMaxSamples {
+			stride = (n + queryMaxSamples - 1) / queryMaxSamples
+		}
+		durs := make([]time.Duration, 0, queryMaxSamples)
+		var candidates int64
+		var total time.Duration
+		buf := make([]blast.Candidate, 0, 1024)
+		for i := 0; i < n; i += stride {
+			q0 := time.Now()
+			buf = ix.AppendCandidates(buf[:0], i)
+			d := time.Since(q0)
+			durs = append(durs, d)
+			total += d
+			candidates += int64(len(buf))
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		row := QueryRow{
+			Dataset:       name,
+			Profiles:      n,
+			Edges:         ix.NumEdges(),
+			RetainedPairs: ix.NumRetained(),
+			BuildTime:     build,
+			Queries:       len(durs),
+			P50:           percentile(durs, 0.50),
+			P95:           percentile(durs, 0.95),
+			P99:           percentile(durs, 0.99),
+		}
+		if len(durs) > 0 {
+			row.Max = durs[len(durs)-1]
+			row.MeanCandidates = float64(candidates) / float64(len(durs))
+		}
+		if total > 0 {
+			row.Throughput = float64(len(durs)) / total.Seconds()
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// percentile returns the q-quantile of sorted durations (nearest-rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// RenderQuery formats the serving-latency series.
+func RenderQuery(rows []QueryRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "single-profile Index.Candidates latency (default options)\n")
+	fmt.Fprintf(&b, "%-8s %9s %10s %9s %10s %8s %9s %9s %9s %12s\n",
+		"dataset", "profiles", "edges", "pairs", "build", "queries", "p50", "p95", "p99", "queries/s")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %9d %10d %9d %10s %8d %9s %9s %9s %12.0f\n",
+			r.Dataset, r.Profiles, r.Edges, r.RetainedPairs,
+			r.BuildTime.Round(time.Millisecond), r.Queries,
+			r.P50, r.P95, r.P99, r.Throughput)
+	}
+	return b.String()
+}
+
+// QueryJSON renders the rows as indented JSON (the CI latency artifact
+// BENCH_query.json).
+func QueryJSON(rows []QueryRow) ([]byte, error) {
+	return json.MarshalIndent(rows, "", "  ")
+}

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"context"
 	"runtime"
 	"slices"
 	"sort"
@@ -66,11 +67,28 @@ func (g *CSR) Degree(i int) int { return int(g.Offsets[i+1] - g.Offsets[i]) }
 // the allocator before the pruning passes run.
 func (g *CSR) ReleaseStats() { g.Common, g.ARCS, g.EntropySum = nil, nil, nil }
 
+// csrCancelCheckEvery is the node-chunk granularity at which the CSR
+// builders and ctx-aware iterators poll for cancellation.
+const csrCancelCheckEvery = 1024
+
 // Canonical invokes fn for every canonical (u < v) entry in ascending
 // (u, v) order — exactly the order of Graph.Edges — passing the entry's
 // position p into the entry arrays.
 func (g *CSR) Canonical(fn func(u, v int32, p int64)) {
+	_ = g.CanonicalCtx(context.Background(), fn)
+}
+
+// CanonicalCtx is Canonical with cooperative cancellation: it checks ctx
+// every few thousand nodes and stops early, returning ctx.Err(). Entries
+// already visited have been passed to fn; callers must discard partial
+// results on error.
+func (g *CSR) CanonicalCtx(ctx context.Context, fn func(u, v int32, p int64)) error {
 	for u := 0; u < g.NumProfiles; u++ {
+		if u%csrCancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		end := g.Offsets[u+1]
 		for p := g.Offsets[u]; p < end; p++ {
 			if v := g.Neighbors[p]; int(v) > u {
@@ -78,6 +96,7 @@ func (g *CSR) Canonical(fn func(u, v int32, p int64)) {
 			}
 		}
 	}
+	return nil
 }
 
 // CanonicalMirror is Canonical plus the position mp of each edge's
@@ -89,8 +108,19 @@ func (g *CSR) Canonical(fn func(u, v int32, p int64)) {
 // of an edge (weight mirroring, per-endpoint mark resolution) must go
 // through this iterator rather than re-derive the invariant.
 func (g *CSR) CanonicalMirror(fn func(u, v int32, p, mp int64)) {
+	_ = g.CanonicalMirrorCtx(context.Background(), fn)
+}
+
+// CanonicalMirrorCtx is CanonicalMirror with cooperative cancellation,
+// with the same early-stop contract as CanonicalCtx.
+func (g *CSR) CanonicalMirrorCtx(ctx context.Context, fn func(u, v int32, p, mp int64)) error {
 	cursors := make([]int64, g.NumProfiles)
 	for u := 0; u < g.NumProfiles; u++ {
+		if u%csrCancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		end := g.Offsets[u+1]
 		for p := g.Offsets[u]; p < end; p++ {
 			v := g.Neighbors[p]
@@ -102,6 +132,7 @@ func (g *CSR) CanonicalMirror(fn func(u, v int32, p, mp int64)) {
 			fn(int32(u), v, p, mp)
 		}
 	}
+	return nil
 }
 
 // newCSRHeader fills in the collection-level statistics shared by the
@@ -279,12 +310,26 @@ func (st *entryStore) appendNode(acc *nodeAcc) {
 // an O(NumProfiles) scratch accumulator. The resulting graph carries
 // exactly the statistics of Build (per-edge values are bit-identical).
 func BuildCSR(c *blocking.Collection) *CSR {
+	g, _ := BuildCSRCtx(context.Background(), c)
+	return g
+}
+
+// BuildCSRCtx is BuildCSR with cooperative cancellation: the per-node
+// accumulation loop checks ctx every few thousand nodes and returns
+// ctx.Err() as soon as cancellation is observed, discarding the partial
+// adjacency.
+func BuildCSRCtx(ctx context.Context, c *blocking.Collection) (*CSR, error) {
 	g := newCSRHeader(c)
 	ix := buildBlockIndex(c, g.BlockCounts)
 	inv := blockInverses(c)
 	acc := newNodeAcc(c.NumProfiles)
 	var st entryStore
 	for n := 0; n < c.NumProfiles; n++ {
+		if n%csrCancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		acc.accumulate(c, inv, &ix, int32(n))
 		st.appendNode(acc)
 		g.Offsets[n+1] = int64(len(st.neighbors))
@@ -293,7 +338,7 @@ func BuildCSR(c *blocking.Collection) *CSR {
 	g.Neighbors, g.Common, g.ARCS, g.EntropySum =
 		st.neighbors, st.common, st.arcs, st.entropySum
 	g.Weights = make([]float64, len(g.Neighbors))
-	return g
+	return g, nil
 }
 
 // BuildCSRParallel constructs the same graph as BuildCSR using workers
@@ -303,11 +348,20 @@ func BuildCSR(c *blocking.Collection) *CSR {
 // worker's scratch), and the per-range chunks are concatenated in node
 // order, so the result is byte-identical to the serial build.
 func BuildCSRParallel(c *blocking.Collection, workers int) *CSR {
+	g, _ := BuildCSRParallelCtx(context.Background(), c, workers)
+	return g
+}
+
+// BuildCSRParallelCtx is BuildCSRParallel with cooperative cancellation:
+// every worker polls ctx at node-chunk granularity and abandons its
+// range, and the build returns ctx.Err() after the join, discarding the
+// partial chunks.
+func BuildCSRParallelCtx(ctx context.Context, c *blocking.Collection, workers int) (*CSR, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 || c.NumProfiles < 2*workers {
-		return BuildCSR(c)
+		return BuildCSRCtx(ctx, c)
 	}
 	g := newCSRHeader(c)
 	ix := buildBlockIndex(c, g.BlockCounts)
@@ -323,6 +377,9 @@ func BuildCSRParallel(c *blocking.Collection, workers int) *CSR {
 			acc := newNodeAcc(c.NumProfiles)
 			ch := &chunks[w]
 			for n := bounds[w]; n < bounds[w+1]; n++ {
+				if (n-bounds[w])%csrCancelCheckEvery == 0 && ctx.Err() != nil {
+					return
+				}
 				acc.accumulate(c, inv, &ix, int32(n))
 				ch.appendNode(acc)
 				// Chunk-local offset; rebased after the join. Ranges are
@@ -333,6 +390,9 @@ func BuildCSRParallel(c *blocking.Collection, workers int) *CSR {
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	total := 0
 	for w := range chunks {
@@ -359,7 +419,7 @@ func BuildCSRParallel(c *blocking.Collection, workers int) *CSR {
 		chunks[w] = entryStore{}
 	}
 	g.Weights = make([]float64, len(g.Neighbors))
-	return g
+	return g, nil
 }
 
 // cutRanges splits the node space into `workers` contiguous ranges of

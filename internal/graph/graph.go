@@ -8,6 +8,7 @@
 package graph
 
 import (
+	"context"
 	"sort"
 
 	"blast/internal/blocking"
@@ -58,9 +59,21 @@ type Graph struct {
 	TotalComparisons int64
 }
 
+// graphCancelCheckEvery is the block-chunk granularity at which the
+// edge-list builders poll for cancellation.
+const graphCancelCheckEvery = 256
+
 // Build constructs the blocking graph of a block collection. Cost is
 // proportional to the aggregate cardinality ||B||.
 func Build(c *blocking.Collection) *Graph {
+	g, _ := BuildCtx(context.Background(), c)
+	return g
+}
+
+// BuildCtx is Build with cooperative cancellation: the block accumulation
+// loop checks ctx every few hundred blocks and returns ctx.Err() as soon
+// as cancellation is observed, discarding the partial graph.
+func BuildCtx(ctx context.Context, c *blocking.Collection) (*Graph, error) {
 	type acc struct {
 		common  int32
 		arcs    float64
@@ -71,6 +84,11 @@ func Build(c *blocking.Collection) *Graph {
 	var keys []uint64
 
 	for i := range c.Blocks {
+		if i%graphCancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		b := &c.Blocks[i]
 		cmp := b.Comparisons()
 		if cmp == 0 {
@@ -119,7 +137,7 @@ func Build(c *blocking.Collection) *Graph {
 		g.Degrees[p.U]++
 		g.Degrees[p.V]++
 	}
-	return g
+	return g, nil
 }
 
 // Adjacency returns, for every node, the indexes (into Edges) of its

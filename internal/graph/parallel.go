@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -21,11 +22,19 @@ import (
 // construction (blocks are processed independently); it is worth using
 // once ||B|| reaches tens of millions.
 func BuildParallel(c *blocking.Collection, workers int) *Graph {
+	g, _ := BuildParallelCtx(context.Background(), c, workers)
+	return g
+}
+
+// BuildParallelCtx is BuildParallel with cooperative cancellation: every
+// worker polls ctx at block-chunk granularity and abandons its shard, and
+// the build returns ctx.Err() after the join, discarding partial shards.
+func BuildParallelCtx(ctx context.Context, c *blocking.Collection, workers int) (*Graph, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 || len(c.Blocks) < 2*workers {
-		return Build(c)
+		return BuildCtx(ctx, c)
 	}
 
 	type acc struct {
@@ -54,6 +63,9 @@ func BuildParallel(c *blocking.Collection, workers int) *Graph {
 			sh := &shards[w]
 			mod := uint64(workers)
 			for i := range c.Blocks {
+				if i%graphCancelCheckEvery == 0 && ctx.Err() != nil {
+					return
+				}
 				b := &c.Blocks[i]
 				cmp := b.Comparisons()
 				if cmp == 0 {
@@ -86,6 +98,9 @@ func BuildParallel(c *blocking.Collection, workers int) *Graph {
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	total := 0
 	for i := range shards {
@@ -119,5 +134,5 @@ func BuildParallel(c *blocking.Collection, workers int) *Graph {
 		g.Degrees[g.Edges[i].U]++
 		g.Degrees[g.Edges[i].V]++
 	}
-	return g
+	return g, nil
 }

@@ -12,6 +12,7 @@
 package metablocking
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -118,6 +119,18 @@ type Config struct {
 	// is always honored). The NodeCentric builder partitions work
 	// without duplication and parallelizes at any scale.
 	Workers int
+	// OnStage, when non-nil, is invoked synchronously as each internal
+	// stage of a run completes ("graph", "weight", "prune") with the
+	// stage's wall-clock duration. It must be fast and must not retain
+	// the run's structures.
+	OnStage func(stage string, d time.Duration)
+}
+
+// stage reports a completed stage to the OnStage observer, if any.
+func (c *Config) stage(name string, d time.Duration) {
+	if c.OnStage != nil {
+		c.OnStage(name, d)
+	}
 }
 
 // DefaultConfig returns BLAST's meta-blocking configuration.
@@ -207,24 +220,28 @@ func pruneGraph(g *graph.Graph, cfg Config) []int {
 	}
 }
 
-// pruneCSR dispatches the configured pruning over a CSR graph, emitting
-// the retained pairs directly.
-func pruneCSR(g *graph.CSR, cfg Config) []model.IDPair {
+// PruneCSR dispatches the configured pruning over a weighted CSR graph,
+// emitting the retained pairs directly in canonical order. It is the
+// streaming counterpart of the edge-list pruning dispatch and is exported
+// for consumers (the candidate-serving index) that weight a CSR
+// themselves and only need the retention decision. Cancellation is
+// observed at the granularity of the underlying streaming schemes.
+func PruneCSR(ctx context.Context, g *graph.CSR, cfg Config) ([]model.IDPair, error) {
 	switch cfg.Pruning {
 	case WEP:
-		return prune.WEPStream(g)
+		return prune.WEPStream(ctx, g)
 	case CEP:
-		return prune.CEPStream(g, cfg.K)
+		return prune.CEPStream(ctx, g, cfg.K)
 	case WNP1:
-		return prune.WNPStream(g, prune.Redefined)
+		return prune.WNPStream(ctx, g, prune.Redefined)
 	case WNP2:
-		return prune.WNPStream(g, prune.Reciprocal)
+		return prune.WNPStream(ctx, g, prune.Reciprocal)
 	case CNP1:
-		return prune.CNPStream(g, cfg.K, prune.Redefined)
+		return prune.CNPStream(ctx, g, cfg.K, prune.Redefined)
 	case CNP2:
-		return prune.CNPStream(g, cfg.K, prune.Reciprocal)
+		return prune.CNPStream(ctx, g, cfg.K, prune.Reciprocal)
 	case BlastWNP:
-		return prune.BlastWNPStream(g, cfg.C, cfg.D)
+		return prune.BlastWNPStream(ctx, g, cfg.C, cfg.D)
 	default:
 		panic(fmt.Sprintf("metablocking: unknown pruning %d", int(cfg.Pruning)))
 	}
@@ -232,11 +249,25 @@ func pruneCSR(g *graph.CSR, cfg Config) []model.IDPair {
 
 // Run executes meta-blocking over the block collection.
 func Run(c *blocking.Collection, cfg Config) *Result {
+	res, err := RunCtx(context.Background(), c, cfg)
+	if err != nil {
+		// The background context never cancels and cancellation is the
+		// only error source of the staged path.
+		panic(fmt.Sprintf("metablocking: unexpected error without cancellation: %v", err))
+	}
+	return res
+}
+
+// RunCtx is Run with cooperative cancellation: graph construction polls
+// ctx at worker-chunk granularity, pruning at node-chunk granularity, and
+// the run returns ctx.Err() at the first stage boundary (or chunk) that
+// observes cancellation. The retained pairs are identical to Run's.
+func RunCtx(ctx context.Context, c *blocking.Collection, cfg Config) (*Result, error) {
 	switch cfg.Engine {
 	case EdgeList:
 		// fall through to the edge-list path below
 	case NodeCentric:
-		return runNodeCentric(c, cfg)
+		return runNodeCentric(ctx, c, cfg)
 	default:
 		panic(fmt.Sprintf("metablocking: unknown engine %d", int(cfg.Engine)))
 	}
@@ -246,16 +277,29 @@ func Run(c *blocking.Collection, cfg Config) *Result {
 	}
 	t0 := time.Now()
 	var g *graph.Graph
+	var err error
 	if workers > 1 {
-		g = graph.BuildParallel(c, workers)
+		g, err = graph.BuildParallelCtx(ctx, c, workers)
 	} else {
-		g = graph.Build(c)
+		g, err = graph.BuildCtx(ctx, c)
+	}
+	if err != nil {
+		return nil, err
 	}
 	t1 := time.Now()
+	cfg.stage("graph", t1.Sub(t0))
 	cfg.Scheme.Apply(g)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t2 := time.Now()
+	cfg.stage("weight", t2.Sub(t1))
 	retained := pruneGraph(g, cfg)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t3 := time.Now()
+	cfg.stage("prune", t3.Sub(t2))
 
 	pairs := make([]model.IDPair, len(retained))
 	for i, idx := range retained {
@@ -268,26 +312,39 @@ func Run(c *blocking.Collection, cfg Config) *Result {
 		GraphTime:  t1.Sub(t0),
 		WeightTime: t2.Sub(t1),
 		PruneTime:  t3.Sub(t2),
-	}
+	}, nil
 }
 
-// runNodeCentric is the streaming path of Run: CSR construction,
+// runNodeCentric is the streaming path of RunCtx: CSR construction,
 // per-adjacency weighting, and two-pass pruning, with no edge list.
-func runNodeCentric(c *blocking.Collection, cfg Config) *Result {
+func runNodeCentric(ctx context.Context, c *blocking.Collection, cfg Config) (*Result, error) {
 	workers := resolveWorkers(cfg.Workers)
 	t0 := time.Now()
 	var g *graph.CSR
+	var err error
 	if workers > 1 {
-		g = graph.BuildCSRParallel(c, workers)
+		g, err = graph.BuildCSRParallelCtx(ctx, c, workers)
 	} else {
-		g = graph.BuildCSR(c)
+		g, err = graph.BuildCSRCtx(ctx, c)
+	}
+	if err != nil {
+		return nil, err
 	}
 	t1 := time.Now()
+	cfg.stage("graph", t1.Sub(t0))
 	cfg.Scheme.ApplyCSR(g)
 	g.ReleaseStats()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t2 := time.Now()
-	pairs := pruneCSR(g, cfg)
+	cfg.stage("weight", t2.Sub(t1))
+	pairs, err := PruneCSR(ctx, g, cfg)
+	if err != nil {
+		return nil, err
+	}
 	t3 := time.Now()
+	cfg.stage("prune", t3.Sub(t2))
 	if pairs == nil {
 		pairs = make([]model.IDPair, 0)
 	}
@@ -298,7 +355,7 @@ func runNodeCentric(c *blocking.Collection, cfg Config) *Result {
 		GraphTime:  t1.Sub(t0),
 		WeightTime: t2.Sub(t1),
 		PruneTime:  t3.Sub(t2),
-	}
+	}, nil
 }
 
 // RunOnGraph executes weighting and pruning on a prebuilt edge-list

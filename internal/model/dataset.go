@@ -123,16 +123,22 @@ func (d *Dataset) Validate() error {
 		return fmt.Errorf("model: dirty dataset %q has non-nil E2", d.Name)
 	}
 	n := d.NumProfiles()
+	var err error
 	if d.Truth != nil {
-		for _, p := range d.Truth.Pairs() {
+		// ForEach, not Pairs: validation only needs membership, so the
+		// sorted materialization would be pure overhead on every call.
+		d.Truth.ForEach(func(p IDPair) bool {
 			u, v := int(p.U), int(p.V)
 			if u < 0 || u >= n || v < 0 || v >= n {
-				return fmt.Errorf("model: dataset %q truth pair (%d,%d) out of range [0,%d)", d.Name, u, v, n)
+				err = fmt.Errorf("model: dataset %q truth pair (%d,%d) out of range [0,%d)", d.Name, u, v, n)
+				return false
 			}
 			if !d.Comparable(u, v) {
-				return fmt.Errorf("model: dataset %q truth pair (%d,%d) is not a valid comparison", d.Name, u, v)
+				err = fmt.Errorf("model: dataset %q truth pair (%d,%d) is not a valid comparison", d.Name, u, v)
+				return false
 			}
-		}
+			return true
+		})
 	}
-	return nil
+	return err
 }

@@ -72,6 +72,17 @@ func (g *GroundTruth) Pairs() []IDPair {
 	return ps
 }
 
+// ForEach invokes fn for every matching pair in unspecified order until
+// fn returns false. Unlike Pairs it allocates and sorts nothing — the
+// right iteration for validation and membership scans.
+func (g *GroundTruth) ForEach(fn func(IDPair) bool) {
+	for k := range g.set {
+		if !fn(PairFromKey(k)) {
+			return
+		}
+	}
+}
+
 // CountIn returns how many ground-truth pairs appear in the given set of
 // candidate pair keys (as produced by IDPair.Key). It is the |D_B| term of
 // PC and PQ.

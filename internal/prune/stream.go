@@ -7,9 +7,15 @@
 // from each node's adjacency run, then retention), and even the global
 // schemes WEP/CEP need only an O(|E|) scalar scratch rather than a
 // materialized edge list.
+//
+// Every streaming scheme takes a context and supports cooperative
+// cancellation: each pass polls ctx at node-chunk granularity (via the
+// CSR's ctx-aware iterators) and returns ctx.Err() as soon as
+// cancellation is observed, discarding partial output.
 package prune
 
 import (
+	"context"
 	"slices"
 	"sort"
 
@@ -17,22 +23,31 @@ import (
 	"blast/internal/model"
 )
 
+// streamCancelCheckEvery is the node-chunk granularity at which the
+// pruning passes that iterate nodes directly poll for cancellation.
+const streamCancelCheckEvery = 1024
+
 // WEPStream is WEP over the CSR graph: discard every edge whose weight
 // is below the mean edge weight.
-func WEPStream(g *graph.CSR) []model.IDPair {
+func WEPStream(ctx context.Context, g *graph.CSR) ([]model.IDPair, error) {
 	if g.NumEdges() == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	sum := 0.0
-	g.Canonical(func(_, _ int32, p int64) { sum += g.Weights[p] })
+	if err := g.CanonicalCtx(ctx, func(_, _ int32, p int64) { sum += g.Weights[p] }); err != nil {
+		return nil, err
+	}
 	theta := sum / float64(g.NumEdges())
 	var out []model.IDPair
-	g.Canonical(func(u, v int32, p int64) {
+	err := g.CanonicalCtx(ctx, func(u, v int32, p int64) {
 		if w := g.Weights[p]; w >= theta && w > 0 {
 			out = append(out, model.IDPair{U: u, V: v})
 		}
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // CEPStream is CEP over the CSR graph: retain the globally top-k edges
@@ -40,10 +55,10 @@ func WEPStream(g *graph.CSR) []model.IDPair {
 // the cut in favor of canonically smaller pairs — the same tie rule as
 // the stable sort of the edge-list CEP. Only a flat weight scratch is
 // allocated, never the edges themselves.
-func CEPStream(g *graph.CSR, k int) []model.IDPair {
+func CEPStream(ctx context.Context, g *graph.CSR, k int) ([]model.IDPair, error) {
 	ne := g.NumEdges()
 	if ne == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	if k <= 0 {
 		k = cepBudget(g.BlockCounts)
@@ -52,10 +67,12 @@ func CEPStream(g *graph.CSR, k int) []model.IDPair {
 		k = ne
 	}
 	if k <= 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	ws := make([]float64, 0, ne)
-	g.Canonical(func(_, _ int32, p int64) { ws = append(ws, g.Weights[p]) })
+	if err := g.CanonicalCtx(ctx, func(_, _ int32, p int64) { ws = append(ws, g.Weights[p]) }); err != nil {
+		return nil, err
+	}
 	sort.Float64s(ws)
 	// The cut weight and how many budget slots remain for edges that tie
 	// with it; edges strictly above the cut are always in.
@@ -63,7 +80,7 @@ func CEPStream(g *graph.CSR, k int) []model.IDPair {
 	greater := ne - sort.Search(ne, func(i int) bool { return ws[i] > cut })
 	rem := k - greater
 	var out []model.IDPair
-	g.Canonical(func(u, v int32, p int64) {
+	err := g.CanonicalCtx(ctx, func(u, v int32, p int64) {
 		w := g.Weights[p]
 		take := w > cut
 		if !take && w == cut && rem > 0 {
@@ -74,35 +91,74 @@ func CEPStream(g *graph.CSR, k int) []model.IDPair {
 			out = append(out, model.IDPair{U: u, V: v})
 		}
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // nodeThresholdsCSR computes a per-node threshold by reducing each
 // node's adjacent weights; nodes without edges get 0. The run is passed
-// in adjacency order, matching the edge-list nodeThresholds.
-func nodeThresholdsCSR(g *graph.CSR, reduce func(ws []float64) float64) []float64 {
+// in adjacency order, matching the edge-list nodeThresholds. Polls ctx
+// at node-chunk granularity.
+func nodeThresholdsCSR(ctx context.Context, g *graph.CSR, reduce func(ws []float64) float64) ([]float64, error) {
 	th := make([]float64, g.NumProfiles)
 	for n := 0; n < g.NumProfiles; n++ {
+		if n%streamCancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		lo, hi := g.Offsets[n], g.Offsets[n+1]
 		if lo == hi {
 			continue
 		}
 		th[n] = reduce(g.Weights[lo:hi])
 	}
-	return th
+	return th, nil
 }
 
-// WNPStream is WNP over the CSR graph: per-node mean-weight thresholds,
-// resolved per edge according to mode.
-func WNPStream(g *graph.CSR, mode Mode) []model.IDPair {
-	th := nodeThresholdsCSR(g, func(ws []float64) float64 {
+// MeanThresholds returns WNP's per-node thresholds over the CSR graph:
+// the mean adjacent weight of every node (0 for edgeless nodes). It is
+// the exact reducer WNPStream prunes with, exported so index consumers
+// expose the same values the retention decision used.
+func MeanThresholds(ctx context.Context, g *graph.CSR) ([]float64, error) {
+	return nodeThresholdsCSR(ctx, g, func(ws []float64) float64 {
 		s := 0.0
 		for _, w := range ws {
 			s += w
 		}
 		return s / float64(len(ws))
 	})
-	return emitByThreshold(g, func(w, thU, thV float64) bool {
+}
+
+// BlastThresholds returns BLAST's per-node thresholds theta_i = M_i/c
+// over the CSR graph (0 for edgeless nodes; c <= 0 defaults to 2). It is
+// the exact reducer BlastWNPStream prunes with, exported so index
+// consumers expose the same values the retention decision used.
+func BlastThresholds(ctx context.Context, g *graph.CSR, c float64) ([]float64, error) {
+	if c <= 0 {
+		c = 2
+	}
+	return nodeThresholdsCSR(ctx, g, func(ws []float64) float64 {
+		m := ws[0]
+		for _, w := range ws[1:] {
+			if w > m {
+				m = w
+			}
+		}
+		return m / c
+	})
+}
+
+// WNPStream is WNP over the CSR graph: per-node mean-weight thresholds,
+// resolved per edge according to mode.
+func WNPStream(ctx context.Context, g *graph.CSR, mode Mode) ([]model.IDPair, error) {
+	th, err := MeanThresholds(ctx, g)
+	if err != nil {
+		return nil, err
+	}
+	return emitByThreshold(ctx, g, func(w, thU, thV float64) bool {
 		overU := w >= thU
 		overV := w >= thV
 		if mode == Redefined {
@@ -114,23 +170,15 @@ func WNPStream(g *graph.CSR, mode Mode) []model.IDPair {
 
 // BlastWNPStream is BLAST's pruning (Section 3.3.2) over the CSR graph:
 // theta_i = M_i / c per node, retain iff w >= (theta_u + theta_v) / d.
-func BlastWNPStream(g *graph.CSR, c, d float64) []model.IDPair {
-	if c <= 0 {
-		c = 2
-	}
+func BlastWNPStream(ctx context.Context, g *graph.CSR, c, d float64) ([]model.IDPair, error) {
 	if d <= 0 {
 		d = 2
 	}
-	th := nodeThresholdsCSR(g, func(ws []float64) float64 {
-		m := ws[0]
-		for _, w := range ws[1:] {
-			if w > m {
-				m = w
-			}
-		}
-		return m / c
-	})
-	return emitByThreshold(g, func(w, thU, thV float64) bool {
+	th, err := BlastThresholds(ctx, g, c)
+	if err != nil {
+		return nil, err
+	}
+	return emitByThreshold(ctx, g, func(w, thU, thV float64) bool {
 		return w >= (thU+thV)/d
 	}, th)
 }
@@ -138,9 +186,9 @@ func BlastWNPStream(g *graph.CSR, c, d float64) []model.IDPair {
 // emitByThreshold runs the retention pass shared by the weight-based
 // node-centric schemes: every positive-weight canonical edge is tested
 // against its endpoints' thresholds.
-func emitByThreshold(g *graph.CSR, keep func(w, thU, thV float64) bool, th []float64) []model.IDPair {
+func emitByThreshold(ctx context.Context, g *graph.CSR, keep func(w, thU, thV float64) bool, th []float64) ([]model.IDPair, error) {
 	var out []model.IDPair
-	g.Canonical(func(u, v int32, p int64) {
+	err := g.CanonicalCtx(ctx, func(u, v int32, p int64) {
 		w := g.Weights[p]
 		if w <= 0 {
 			return
@@ -149,26 +197,34 @@ func emitByThreshold(g *graph.CSR, keep func(w, thU, thV float64) bool, th []flo
 			out = append(out, model.IDPair{U: u, V: v})
 		}
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // CNPStream is CNP over the CSR graph: each node marks its top-k
 // adjacent edges by weight (stable on the adjacency order, like the
 // edge-list CNP), and an edge is retained if the marks of its endpoints
 // satisfy the mode.
-func CNPStream(g *graph.CSR, k int, mode Mode) []model.IDPair {
+func CNPStream(ctx context.Context, g *graph.CSR, k int, mode Mode) ([]model.IDPair, error) {
 	if g.NumEdges() == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	if k <= 0 {
 		k = cnpBudget(g.BlockCounts)
 		if k == 0 {
-			return nil
+			return nil, ctx.Err()
 		}
 	}
 	mark := make([]bool, len(g.Neighbors))
 	var order []int64
 	for n := 0; n < g.NumProfiles; n++ {
+		if n%streamCancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		lo, hi := g.Offsets[n], g.Offsets[n+1]
 		if lo == hi {
 			continue
@@ -197,7 +253,7 @@ func CNPStream(g *graph.CSR, k int, mode Mode) []model.IDPair {
 	}
 
 	var out []model.IDPair
-	g.CanonicalMirror(func(u, v int32, p, mp int64) {
+	err := g.CanonicalMirrorCtx(ctx, func(u, v int32, p, mp int64) {
 		if g.Weights[p] <= 0 {
 			return
 		}
@@ -209,5 +265,8 @@ func CNPStream(g *graph.CSR, k int, mode Mode) []model.IDPair {
 			out = append(out, model.IDPair{U: u, V: v})
 		}
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

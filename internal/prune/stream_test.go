@@ -1,6 +1,7 @@
 package prune
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -11,6 +12,19 @@ import (
 	"blast/internal/stats"
 	"blast/internal/weights"
 )
+
+// muster returns an unwrapper for a streaming scheme's (pairs, error)
+// return; the background context never cancels, so an error is a test
+// bug.
+func muster(t *testing.T) func([]model.IDPair, error) []model.IDPair {
+	return func(pairs []model.IDPair, err error) []model.IDPair {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("unexpected stream error: %v", err)
+		}
+		return pairs
+	}
+}
 
 // weightedPair builds both graph representations of a collection with
 // the same scheme applied.
@@ -46,6 +60,8 @@ func comparePairs(t *testing.T, label string, want, got []model.IDPair) {
 // TestStreamMatchesEdgeListOnRandomCollections drives every streaming
 // scheme against its edge-list counterpart on random collections.
 func TestStreamMatchesEdgeListOnRandomCollections(t *testing.T) {
+	ctx := context.Background()
+	must := muster(t)
 	for seed := uint64(1); seed <= 8; seed++ {
 		rng := stats.NewRNG(seed)
 		for _, kind := range []model.Kind{model.Dirty, model.CleanClean} {
@@ -57,16 +73,16 @@ func TestStreamMatchesEdgeListOnRandomCollections(t *testing.T) {
 			} {
 				g, csr := weightedPairReps(c, s)
 				label := fmt.Sprintf("seed=%d kind=%v %s", seed, kind, s.Name())
-				comparePairs(t, label+" wep", pairsOf(g, WEP(g)), WEPStream(csr))
-				comparePairs(t, label+" cep", pairsOf(g, CEP(g, 0)), CEPStream(csr, 0))
-				comparePairs(t, label+" cep5", pairsOf(g, CEP(g, 5)), CEPStream(csr, 5))
+				comparePairs(t, label+" wep", pairsOf(g, WEP(g)), must(WEPStream(ctx, csr)))
+				comparePairs(t, label+" cep", pairsOf(g, CEP(g, 0)), must(CEPStream(ctx, csr, 0)))
+				comparePairs(t, label+" cep5", pairsOf(g, CEP(g, 5)), must(CEPStream(ctx, csr, 5)))
 				for _, mode := range []Mode{Redefined, Reciprocal} {
-					comparePairs(t, label+" wnp", pairsOf(g, WNP(g, mode)), WNPStream(csr, mode))
-					comparePairs(t, label+" cnp", pairsOf(g, CNP(g, 0, mode)), CNPStream(csr, 0, mode))
-					comparePairs(t, label+" cnp2", pairsOf(g, CNP(g, 2, mode)), CNPStream(csr, 2, mode))
+					comparePairs(t, label+" wnp", pairsOf(g, WNP(g, mode)), must(WNPStream(ctx, csr, mode)))
+					comparePairs(t, label+" cnp", pairsOf(g, CNP(g, 0, mode)), must(CNPStream(ctx, csr, 0, mode)))
+					comparePairs(t, label+" cnp2", pairsOf(g, CNP(g, 2, mode)), must(CNPStream(ctx, csr, 2, mode)))
 				}
-				comparePairs(t, label+" blast", pairsOf(g, BlastWNP(g, 2, 2)), BlastWNPStream(csr, 2, 2))
-				comparePairs(t, label+" blast41", pairsOf(g, BlastWNP(g, 4, 1)), BlastWNPStream(csr, 4, 1))
+				comparePairs(t, label+" blast", pairsOf(g, BlastWNP(g, 2, 2)), must(BlastWNPStream(ctx, csr, 2, 2)))
+				comparePairs(t, label+" blast41", pairsOf(g, BlastWNP(g, 4, 1)), must(BlastWNPStream(ctx, csr, 4, 1)))
 			}
 		}
 	}
@@ -75,11 +91,12 @@ func TestStreamMatchesEdgeListOnRandomCollections(t *testing.T) {
 // TestStreamFigure1: the streaming BLAST pruning reproduces the paper
 // example exactly, like the edge-list one.
 func TestStreamFigure1(t *testing.T) {
+	must := muster(t)
 	ds := datasets.PaperExample()
 	c := blocking.TokenBlocking(ds)
 	csr := graph.BuildCSR(c)
 	weights.Blast().ApplyCSR(csr)
-	pairs := BlastWNPStream(csr, 2, 2)
+	pairs := must(BlastWNPStream(context.Background(), csr, 2, 2))
 	if len(pairs) != 2 {
 		t.Fatalf("retained %d pairs, want 2", len(pairs))
 	}
@@ -93,11 +110,13 @@ func TestStreamFigure1(t *testing.T) {
 // TestStreamEmptyGraph: every streaming scheme must cope with an
 // edgeless graph.
 func TestStreamEmptyGraph(t *testing.T) {
+	ctx := context.Background()
+	must := muster(t)
 	c := &blocking.Collection{Kind: model.Dirty, NumProfiles: 3}
 	csr := graph.BuildCSR(c)
-	if WEPStream(csr) != nil || CEPStream(csr, 0) != nil ||
-		WNPStream(csr, Redefined) != nil || CNPStream(csr, 0, Reciprocal) != nil ||
-		BlastWNPStream(csr, 2, 2) != nil {
+	if must(WEPStream(ctx, csr)) != nil || must(CEPStream(ctx, csr, 0)) != nil ||
+		must(WNPStream(ctx, csr, Redefined)) != nil || must(CNPStream(ctx, csr, 0, Reciprocal)) != nil ||
+		must(BlastWNPStream(ctx, csr, 2, 2)) != nil {
 		t.Error("empty graph must prune to nothing")
 	}
 }
@@ -106,15 +125,17 @@ func TestStreamEmptyGraph(t *testing.T) {
 // zero weight means no evidence, so nothing is emitted even though the
 // thresholds degenerate to zero.
 func TestStreamZeroWeightsNeverRetained(t *testing.T) {
+	ctx := context.Background()
+	must := muster(t)
 	rng := stats.NewRNG(5)
 	c := blocking.RandomCollection(rng, model.Dirty, 30, 20)
 	csr := graph.BuildCSR(c) // weights left at zero
 	for name, pairs := range map[string][]model.IDPair{
-		"wep":   WEPStream(csr),
-		"cep":   CEPStream(csr, 0),
-		"wnp":   WNPStream(csr, Redefined),
-		"cnp":   CNPStream(csr, 0, Redefined),
-		"blast": BlastWNPStream(csr, 2, 2),
+		"wep":   must(WEPStream(ctx, csr)),
+		"cep":   must(CEPStream(ctx, csr, 0)),
+		"wnp":   must(WNPStream(ctx, csr, Redefined)),
+		"cnp":   must(CNPStream(ctx, csr, 0, Redefined)),
+		"blast": must(BlastWNPStream(ctx, csr, 2, 2)),
 	} {
 		if len(pairs) != 0 {
 			t.Errorf("%s retained %d zero-weight pairs", name, len(pairs))
