@@ -34,6 +34,7 @@ package blast
 import (
 	"context"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -75,6 +76,42 @@ func (i Induction) String() string {
 		return fmt.Sprintf("Induction(%d)", int(i))
 	}
 }
+
+// Compaction tunes when a mutable Index (one that has served Insert
+// calls) folds its copy-on-write adjacency overlay back into a flat base
+// CSR. Compaction restores pure-array locality for the serving path; the
+// overlay amortizes it across many inserts. The zero value selects the
+// defaults.
+type Compaction struct {
+	// MaxOverlayFraction triggers a compaction when the entries held in
+	// materialized overlay rows exceed this fraction of the base CSR's
+	// entries. 0 selects the default 0.25; a negative value disables
+	// automatic compaction entirely (Index.Compact remains available).
+	MaxOverlayFraction float64
+	// MinOverlayEntries suppresses automatic compaction below this many
+	// overlay entries, so small indexes do not compact on every insert.
+	// 0 selects the default 4096.
+	MinOverlayEntries int
+}
+
+// maxFraction resolves the overlay-fraction trigger (0 -> 0.25).
+func (c Compaction) maxFraction() float64 {
+	if c.MaxOverlayFraction == 0 {
+		return 0.25
+	}
+	return c.MaxOverlayFraction
+}
+
+// minEntries resolves the minimum-entry floor (0 -> 4096).
+func (c Compaction) minEntries() int {
+	if c.MinOverlayEntries == 0 {
+		return 4096
+	}
+	return c.MinOverlayEntries
+}
+
+// disabled reports whether automatic compaction is switched off.
+func (c Compaction) disabled() bool { return c.MaxOverlayFraction < 0 }
 
 // LSHOptions configures the optional MinHash/banding acceleration of
 // attribute-match induction (Section 3.1.2). Rows*Bands hash functions
@@ -152,6 +189,11 @@ type Options struct {
 	// baseline always builds its graph serially).
 	Workers int
 
+	// Compaction tunes the overlay-compaction policy of a mutable Index
+	// (see Index.Insert). The zero value selects the defaults; it is
+	// ignored by the batch pipeline.
+	Compaction Compaction
+
 	// Progress, when non-nil, observes pipeline execution: it is invoked
 	// synchronously as each phase or sub-stage completes ("induce",
 	// "block", "graph", "weight", "prune", "supervised", "index") with
@@ -210,6 +252,12 @@ func (o Options) Validate() error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("blast: Workers = %d must be >= 0 (0 selects one worker per CPU)", o.Workers)
+	}
+	if math.IsNaN(o.Compaction.MaxOverlayFraction) || math.IsInf(o.Compaction.MaxOverlayFraction, 0) {
+		return fmt.Errorf("blast: Compaction.MaxOverlayFraction = %v must be finite (0 selects the default, negative disables)", o.Compaction.MaxOverlayFraction)
+	}
+	if o.Compaction.MinOverlayEntries < 0 {
+		return fmt.Errorf("blast: Compaction.MinOverlayEntries = %d must be >= 0 (0 selects the default)", o.Compaction.MinOverlayEntries)
 	}
 	if o.Supervised && (o.TrainFraction <= 0 || o.TrainFraction > 1) {
 		return fmt.Errorf("blast: TrainFraction = %v outside (0, 1]: it is the fraction of ground-truth matches used for training", o.TrainFraction)

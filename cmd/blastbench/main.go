@@ -7,15 +7,17 @@
 //	blastbench -exp all
 //
 // Experiments: table2 table3 table4 table5 table6 table7 fig5 fig8 fig9
-// fig10 endtoend scalability engines query baselines standard all.
-// -scale multiplies the per-dataset default sizes (see
+// fig10 endtoend scalability engines query incremental baselines
+// standard all. -scale multiplies the per-dataset default sizes (see
 // internal/experiments); absolute metrics depend on it, comparative
 // structure does not. The engines experiment compares the edge-list and
 // node-centric meta-blocking engines (time, allocation, output
 // equality); the query experiment measures single-profile
-// Index.Candidates latency and throughput on the registry datasets. For
-// both, -json renders machine-readable JSON (the CI benchmark
-// artifacts).
+// Index.Candidates latency and throughput on the registry datasets; the
+// incremental experiment streams each dataset's tail through
+// Index.Insert and reports per-insert latency and the amortized speedup
+// over a cold rebuild. For all three, -json renders machine-readable
+// JSON (the CI benchmark artifacts).
 package main
 
 import (
@@ -28,11 +30,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table2..table7, fig5, fig8, fig9, fig10, endtoend, scalability, engines, query, baselines, all")
-	dataset := flag.String("dataset", "", "dataset for table4/table7/endtoend/engines/query (default: every applicable)")
+	exp := flag.String("exp", "all", "experiment id: table2..table7, fig5, fig8, fig9, fig10, endtoend, scalability, engines, query, incremental, baselines, all")
+	dataset := flag.String("dataset", "", "dataset for table4/table7/endtoend/engines/query/incremental (default: every applicable)")
 	scale := flag.Float64("scale", 1, "scale multiplier over per-dataset defaults")
 	seed := flag.Uint64("seed", 42, "random seed")
-	jsonOut := flag.Bool("json", false, "render the engines/query experiments as JSON")
+	jsonOut := flag.Bool("json", false, "render the engines/query/incremental experiments as JSON")
 	flag.Parse()
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed}
@@ -183,6 +185,25 @@ func run(cfg experiments.Config, exp, dataset string, jsonOut bool) error {
 		}
 		fmt.Println("== Query: online candidate serving via Index.Candidates ==")
 		fmt.Print(experiments.RenderQuery(rows))
+	case "incremental":
+		var names []string
+		if dataset != "" {
+			names = []string{dataset}
+		}
+		rows, err := experiments.Incremental(cfg, names)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			js, err := experiments.IncrementalJSON(rows)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(js))
+			return nil
+		}
+		fmt.Println("== Incremental: Index.Insert streaming vs cold rebuild ==")
+		fmt.Print(experiments.RenderIncremental(rows))
 	case "baselines":
 		name := dataset
 		if name == "" {
@@ -203,7 +224,7 @@ func run(cfg experiments.Config, exp, dataset string, jsonOut bool) error {
 		fmt.Print(experiments.RenderStandard(rows))
 	case "all":
 		for _, e := range []string{"table2", "table3", "table4", "table5", "table6", "table7",
-			"fig5", "fig8", "fig9", "fig10", "endtoend", "scalability", "engines", "query", "baselines", "standard"} {
+			"fig5", "fig8", "fig9", "fig10", "endtoend", "scalability", "engines", "query", "incremental", "baselines", "standard"} {
 			// Always the text rendering: interleaving one JSON array into
 			// the combined report would serve neither reader.
 			if err := run(cfg, e, dataset, false); err != nil {

@@ -47,6 +47,15 @@ func TestRunQueryExperiment(t *testing.T) {
 	}
 }
 
+func TestRunIncrementalExperiment(t *testing.T) {
+	if err := run(tinyCfg(), "incremental", "ar1", false); err != nil {
+		t.Errorf("incremental text: %v", err)
+	}
+	if err := run(tinyCfg(), "incremental", "census", true); err != nil {
+		t.Errorf("incremental json: %v", err)
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run(tinyCfg(), "table99", "", false); err == nil {
 		t.Error("unknown experiment should error")

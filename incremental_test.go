@@ -1,0 +1,621 @@
+package blast
+
+// Differential tests of incremental meta-blocking: after any sequence of
+// Insert/InsertAll/Compact calls, the mutable Index must be
+// byte-identical — Pairs(), Candidates(i), Threshold(i) — to a cold
+// IndexBlocks over its own live (appended) collection, across the
+// Induction x Scheme x Pruning configuration axes and against both batch
+// engines. Plus the boundary, cancellation and concurrency contracts of
+// the mutable index.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"blast/internal/datasets"
+	"blast/internal/metablocking"
+	"blast/internal/model"
+	"blast/internal/stats"
+	"blast/internal/weights"
+)
+
+// synthProfile draws a random profile from a small shared vocabulary, so
+// streamed profiles co-occur heavily with the base collection while
+// still introducing fresh tokens now and then.
+func synthProfile(rng *stats.RNG, id string) model.Profile {
+	words := []string{
+		"alpha", "beta", "gamma", "delta", "abram", "ellen", "main", "oak",
+		"1985", "1999", "ny", "sf", "smith", "jones", "red", "blue",
+		"acme", "globex", "north", "south", "pine", "elm", "42", "77",
+	}
+	attrs := []string{"name", "addr", "year", "note"}
+	p := model.Profile{ID: id}
+	na := 1 + rng.Intn(len(attrs))
+	for a := 0; a < na; a++ {
+		nt := 1 + rng.Intn(4)
+		var toks []string
+		for j := 0; j < nt; j++ {
+			if rng.Intn(12) == 0 {
+				// Occasionally a token outside the vocabulary: exercises
+				// pending keys and new-block materialization.
+				toks = append(toks, fmt.Sprintf("tok%d", rng.Intn(1000)))
+			} else {
+				toks = append(toks, words[rng.Intn(len(words))])
+			}
+		}
+		p.Add(attrs[rng.Intn(len(attrs))], strings.Join(toks, " "))
+	}
+	return p
+}
+
+// synthDirty builds a dirty dataset of n synthetic profiles.
+func synthDirty(rng *stats.RNG, n int) *model.Dataset {
+	e := model.NewCollection("stream-base")
+	for i := 0; i < n; i++ {
+		e.Append(synthProfile(rng, fmt.Sprintf("b%d", i)))
+	}
+	return &model.Dataset{Name: "stream", Kind: model.Dirty, E1: e, Truth: model.NewGroundTruth()}
+}
+
+// checkIndexEquivalence asserts the incremental correctness contract:
+// the mutable index matches a cold IndexBlocks over a clone of its live
+// collection on every observable — pairs, per-profile candidates
+// (ids and bitwise weights) and per-profile thresholds.
+func checkIndexEquivalence(t *testing.T, label string, p *Pipeline, ix *Index) {
+	t.Helper()
+	cold, err := p.IndexBlocks(context.Background(), &Blocks{Collection: ix.Blocks().Clone(), Schema: ix.Schema()})
+	if err != nil {
+		t.Fatalf("%s: cold IndexBlocks: %v", label, err)
+	}
+	if cold.NumProfiles() != ix.NumProfiles() {
+		t.Fatalf("%s: NumProfiles = %d, want %d", label, ix.NumProfiles(), cold.NumProfiles())
+	}
+	if cold.NumEdges() != ix.NumEdges() {
+		t.Fatalf("%s: NumEdges = %d, want %d", label, ix.NumEdges(), cold.NumEdges())
+	}
+	assertSamePairs(t, label+" pairs", cold.Pairs(), ix.Pairs())
+	if cold.NumRetained() != ix.NumRetained() {
+		t.Fatalf("%s: NumRetained = %d, want %d", label, ix.NumRetained(), cold.NumRetained())
+	}
+	var want, got []Candidate
+	for i := 0; i < cold.NumProfiles(); i++ {
+		if cw, iw := cold.Threshold(i), ix.Threshold(i); cw != iw {
+			t.Fatalf("%s: Threshold(%d) = %v, want %v", label, i, iw, cw)
+		}
+		want = cold.AppendCandidates(want[:0], i)
+		got = ix.AppendCandidates(got[:0], i)
+		if len(want) != len(got) {
+			t.Fatalf("%s: Candidates(%d): %d, want %d", label, i, len(got), len(want))
+		}
+		for k := range want {
+			if want[k] != got[k] {
+				t.Fatalf("%s: Candidates(%d)[%d] = %+v, want %+v", label, i, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+// TestIncrementalEquivalenceMatrix streams profile batches into indexes
+// across Induction x Scheme x Pruning and checks the cold-rebuild
+// contract at every batch boundary, then cross-checks the final pair set
+// against both batch engines run over the live collection.
+func TestIncrementalEquivalenceMatrix(t *testing.T) {
+	ctx := context.Background()
+	schemes := []weights.Scheme{
+		{Kind: weights.ChiSquared, Entropy: true},
+		{Kind: weights.CBS},
+		{Kind: weights.JS},
+		{Kind: weights.ARCS, Entropy: true},
+		{Kind: weights.ECBS},
+	}
+	prunings := []metablocking.Pruning{
+		metablocking.WEP, metablocking.CEP, metablocking.WNP1,
+		metablocking.WNP2, metablocking.CNP1, metablocking.CNP2,
+		metablocking.BlastWNP,
+	}
+	for _, ind := range []Induction{LMI, NoInduction} {
+		for _, scheme := range schemes {
+			for _, pruning := range prunings {
+				label := fmt.Sprintf("%v/%s/%v", ind, scheme.Name(), pruning)
+				rng := stats.NewRNG(uint64(len(label))*977 + 13)
+				ds := synthDirty(rng, 60)
+				opt := DefaultOptions()
+				opt.Induction = ind
+				opt.Scheme = scheme
+				opt.Pruning = pruning
+				p, err := NewPipeline(opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ix, err := p.BuildIndex(ctx, ds)
+				if err != nil {
+					t.Fatalf("%s: BuildIndex: %v", label, err)
+				}
+				for batch := 0; batch < 3; batch++ {
+					profs := make([]model.Profile, 8)
+					for i := range profs {
+						profs[i] = synthProfile(rng, fmt.Sprintf("s%d-%d", batch, i))
+					}
+					if _, err := ix.InsertAll(ctx, profs); err != nil {
+						t.Fatalf("%s: InsertAll: %v", label, err)
+					}
+					checkIndexEquivalence(t, fmt.Sprintf("%s batch %d", label, batch), p, ix)
+				}
+				// The live collection must also reproduce the index's
+				// pairs through both batch engines.
+				for _, engine := range []metablocking.Engine{metablocking.EdgeList, metablocking.NodeCentric} {
+					cfg := metaConfigFromOptions(opt)
+					cfg.Engine = engine
+					mb, err := metablocking.RunCtx(ctx, ix.Blocks(), cfg)
+					if err != nil {
+						t.Fatalf("%s/%v: RunCtx: %v", label, engine, err)
+					}
+					assertSamePairs(t, fmt.Sprintf("%s final %v", label, engine), mb.Pairs, ix.Pairs())
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalEquivalenceRandom is the randomized differential
+// harness: seeded random profile streams with interleaved Insert,
+// InsertAll and explicit/automatic compaction triggers over randomized
+// configuration axes, asserting the cold-rebuild contract at random
+// checkpoints and at the end.
+func TestIncrementalEquivalenceRandom(t *testing.T) {
+	ctx := context.Background()
+	schemes := []weights.Kind{
+		weights.CBS, weights.ECBS, weights.ARCS, weights.JS, weights.EJS, weights.ChiSquared,
+	}
+	prunings := []metablocking.Pruning{
+		metablocking.WEP, metablocking.CEP, metablocking.WNP1, metablocking.WNP2,
+		metablocking.CNP1, metablocking.CNP2, metablocking.BlastWNP,
+	}
+	for seed := uint64(1); seed <= 18; seed++ {
+		rng := stats.NewRNG(seed * 2654435761)
+		opt := DefaultOptions()
+		opt.Induction = []Induction{LMI, AC, NoInduction}[rng.Intn(3)]
+		opt.Scheme = weights.Scheme{Kind: schemes[rng.Intn(len(schemes))], Entropy: rng.Intn(2) == 0}
+		opt.Pruning = prunings[rng.Intn(len(prunings))]
+		if rng.Intn(2) == 0 {
+			opt.Engine = metablocking.NodeCentric // ignored by the index; part of the axis anyway
+		}
+		opt.C = []float64{1, 2, 4}[rng.Intn(3)]
+		switch rng.Intn(3) {
+		case 0:
+			// Aggressive compaction: overlay folded almost every batch.
+			opt.Compaction = Compaction{MaxOverlayFraction: 0.01, MinOverlayEntries: 1}
+		case 1:
+			opt.Compaction = Compaction{MaxOverlayFraction: -1} // disabled
+		}
+		label := fmt.Sprintf("seed %d (%v/%s/%v)", seed, opt.Induction, opt.Scheme.Name(), opt.Pruning)
+		p, err := NewPipeline(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := synthDirty(rng, 20+rng.Intn(60))
+		ix, err := p.BuildIndex(ctx, ds)
+		if err != nil {
+			t.Fatalf("%s: BuildIndex: %v", label, err)
+		}
+		streamed := 0
+		total := 10 + rng.Intn(25)
+		for streamed < total {
+			switch rng.Intn(4) {
+			case 0: // single insert
+				prof := synthProfile(rng, fmt.Sprintf("s%d", streamed))
+				if _, err := ix.Insert(ctx, &prof); err != nil {
+					t.Fatalf("%s: Insert: %v", label, err)
+				}
+				streamed++
+			case 1: // explicit compaction
+				if err := ix.Compact(ctx); err != nil {
+					t.Fatalf("%s: Compact: %v", label, err)
+				}
+			default: // batch insert
+				n := 1 + rng.Intn(6)
+				profs := make([]model.Profile, n)
+				for i := range profs {
+					profs[i] = synthProfile(rng, fmt.Sprintf("s%d", streamed+i))
+				}
+				if _, err := ix.InsertAll(ctx, profs); err != nil {
+					t.Fatalf("%s: InsertAll: %v", label, err)
+				}
+				streamed += n
+			}
+			if rng.Intn(3) == 0 {
+				checkIndexEquivalence(t, fmt.Sprintf("%s @%d", label, streamed), p, ix)
+			}
+		}
+		checkIndexEquivalence(t, label+" final", p, ix)
+		if st := ix.Stats(); st.Inserts != streamed {
+			t.Errorf("%s: Stats.Inserts = %d, want %d", label, st.Inserts, streamed)
+		}
+	}
+}
+
+// TestIncrementalCleanClean streams profiles into E2 of a clean-clean
+// index (the fixed-reference-collection workload) and checks the
+// cold-rebuild contract.
+func TestIncrementalCleanClean(t *testing.T) {
+	ctx := context.Background()
+	for _, pruning := range []metablocking.Pruning{metablocking.BlastWNP, metablocking.CEP} {
+		full := datasets.AR1(0.04, 11)
+		hold := 12
+		base := &model.Dataset{
+			Name: full.Name, Kind: model.CleanClean,
+			E1:    full.E1,
+			E2:    &model.Collection{Name: full.E2.Name, Profiles: full.E2.Profiles[:full.E2.Len()-hold]},
+			Truth: model.NewGroundTruth(),
+		}
+		opt := DefaultOptions()
+		opt.Pruning = pruning
+		p, err := NewPipeline(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := p.BuildIndex(ctx, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSplit := base.Split()
+		stream := full.E2.Profiles[full.E2.Len()-hold:]
+		for i := range stream {
+			id, err := ix.Insert(ctx, &stream[i])
+			if err != nil {
+				t.Fatalf("%v: Insert %d: %v", pruning, i, err)
+			}
+			if id < wantSplit {
+				t.Fatalf("%v: inserted profile landed in E1 id space: %d < %d", pruning, id, wantSplit)
+			}
+		}
+		if err := ix.Blocks().Validate(); err != nil {
+			t.Fatalf("%v: live collection invalid: %v", pruning, err)
+		}
+		checkIndexEquivalence(t, fmt.Sprintf("clean-clean %v", pruning), p, ix)
+	}
+}
+
+// TestIncrementalLocalizedPath pins the fast path: under a weighting
+// with no graph-global inputs (JS) and BLAST's node-local pruning, every
+// batch must finalize on the localized path — and still match a cold
+// rebuild.
+func TestIncrementalLocalizedPath(t *testing.T) {
+	ctx := context.Background()
+	rng := stats.NewRNG(99)
+	ds := synthDirty(rng, 80)
+	opt := DefaultOptions()
+	opt.Scheme = weights.Scheme{Kind: weights.JS}
+	p, err := NewPipeline(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := p.BuildIndex(ctx, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := 5
+	for b := 0; b < batches; b++ {
+		profs := make([]model.Profile, 4)
+		for i := range profs {
+			profs[i] = synthProfile(rng, fmt.Sprintf("l%d-%d", b, i))
+		}
+		if _, err := ix.InsertAll(ctx, profs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := ix.Stats()
+	if st.LocalizedBatches != batches || st.RebuiltBatches != 0 {
+		t.Errorf("JS/BlastWNP batches: localized %d rebuilt %d, want %d localized",
+			st.LocalizedBatches, st.RebuiltBatches, batches)
+	}
+	checkIndexEquivalence(t, "localized", p, ix)
+
+	// Duplicating an existing profile introduces no new tokens, so even
+	// the default chi-squared weighting stays on the localized path.
+	opt2 := DefaultOptions()
+	p2, err := NewPipeline(opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := p2.BuildIndex(ctx, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := ds.E1.Profiles[3]
+	dup.ID = "dup3"
+	if _, err := ix2.Insert(ctx, &dup); err != nil {
+		t.Fatal(err)
+	}
+	if st2 := ix2.Stats(); st2.PendingKeys == 0 && st2.LocalizedBatches != 1 {
+		t.Errorf("duplicate insert: localized %d rebuilt %d (pending %d)",
+			st2.LocalizedBatches, st2.RebuiltBatches, st2.PendingKeys)
+	}
+	checkIndexEquivalence(t, "duplicate insert", p2, ix2)
+}
+
+// TestIncrementalCompactionPreservesState: an explicit compaction must
+// not change any observable, and must reset the overlay.
+func TestIncrementalCompactionPreservesState(t *testing.T) {
+	ctx := context.Background()
+	rng := stats.NewRNG(7)
+	ds := synthDirty(rng, 50)
+	opt := DefaultOptions()
+	// JS has no graph-global weight inputs, so inserts stay on the
+	// localized path and the overlay persists until compacted.
+	opt.Scheme = weights.Scheme{Kind: weights.JS}
+	opt.Compaction = Compaction{MaxOverlayFraction: -1} // manual only
+	p, err := NewPipeline(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := p.BuildIndex(ctx, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs := make([]model.Profile, 10)
+	for i := range profs {
+		profs[i] = synthProfile(rng, fmt.Sprintf("c%d", i))
+	}
+	if _, err := ix.InsertAll(ctx, profs); err != nil {
+		t.Fatal(err)
+	}
+	before := ix.Pairs()
+	th := make([]float64, ix.NumProfiles())
+	for i := range th {
+		th[i] = ix.Threshold(i)
+	}
+	if err := ix.Compact(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := ix.Stats()
+	if st.Compactions != 1 || st.OverlayEntries != 0 {
+		t.Errorf("after Compact: %+v", st)
+	}
+	assertSamePairs(t, "compaction pairs", before, ix.Pairs())
+	for i := range th {
+		if got := ix.Threshold(i); got != th[i] {
+			t.Fatalf("Threshold(%d) changed across compaction: %v -> %v", i, th[i], got)
+		}
+	}
+	checkIndexEquivalence(t, "post-compaction", p, ix)
+	// Compacting again is a no-op.
+	if err := ix.Compact(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := ix.Stats(); st.Compactions != 1 {
+		t.Errorf("no-op Compact incremented counter: %+v", st)
+	}
+}
+
+// TestIndexCandidatesBoundary is the boundary-id table test: before and
+// after inserts, out-of-range ids serve empty results from Candidates,
+// AppendCandidates and Threshold instead of panicking.
+func TestIndexCandidatesBoundary(t *testing.T) {
+	ctx := context.Background()
+	rng := stats.NewRNG(5)
+	ds := synthDirty(rng, 30)
+	p, err := NewPipeline(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := p.BuildIndex(ctx, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string) {
+		t.Helper()
+		n := ix.NumProfiles()
+		cases := []struct {
+			id     int
+			inside bool
+		}{
+			{-1, false}, {0, true}, {n - 1, true}, {n, false}, {n + 1, false}, {1 << 30, false},
+		}
+		for _, tc := range cases {
+			got := ix.Candidates(tc.id)
+			if got == nil {
+				t.Errorf("%s: Candidates(%d) = nil, want non-nil slice", stage, tc.id)
+			}
+			if !tc.inside && len(got) != 0 {
+				t.Errorf("%s: Candidates(%d) served %d candidates out of range", stage, tc.id, len(got))
+			}
+			buf := ix.AppendCandidates(make([]Candidate, 2, 8), tc.id)
+			if len(buf) < 2 {
+				t.Errorf("%s: AppendCandidates(%d) truncated its input buffer", stage, tc.id)
+			}
+			if !tc.inside && len(buf) != 2 {
+				t.Errorf("%s: AppendCandidates(%d) appended out of range", stage, tc.id)
+			}
+			if !tc.inside && ix.Threshold(tc.id) != 0 {
+				t.Errorf("%s: Threshold(%d) != 0 out of range", stage, tc.id)
+			}
+		}
+	}
+	check("cold")
+	prof := synthProfile(rng, "bnd")
+	id, err := ix.Insert(ctx, &prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != ix.NumProfiles()-1 {
+		t.Fatalf("Insert id = %d, want %d", id, ix.NumProfiles()-1)
+	}
+	check("mutable")
+}
+
+// TestInsertCancellation: a pre-cancelled context mutates nothing; a
+// context cancelled mid-batch finalizes the appended prefix, leaving a
+// consistent index; and cancelled inserts leak no goroutines (run with
+// -race this also exercises the locking).
+func TestInsertCancellation(t *testing.T) {
+	rng := stats.NewRNG(21)
+	ds := synthDirty(rng, 40)
+	p, err := NewPipeline(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := p.BuildIndex(context.Background(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := ix.NumProfiles()
+	prof := synthProfile(rng, "x")
+	if _, err := ix.Insert(cancelled, &prof); err != context.Canceled {
+		t.Errorf("pre-cancelled Insert: err = %v, want context.Canceled", err)
+	}
+	if ids, err := ix.InsertAll(cancelled, []model.Profile{prof}); err != context.Canceled || len(ids) != 0 {
+		t.Errorf("pre-cancelled InsertAll: ids = %v, err = %v", ids, err)
+	}
+	if err := ix.Compact(cancelled); err != context.Canceled {
+		t.Errorf("pre-cancelled Compact: err = %v, want context.Canceled", err)
+	}
+	if ix.NumProfiles() != before {
+		t.Fatalf("cancelled insert mutated the index: %d -> %d profiles", before, ix.NumProfiles())
+	}
+
+	// Race a mid-batch cancellation: whatever prefix lands must leave the
+	// index equivalent to a cold rebuild over its own collection.
+	for _, delay := range []time.Duration{0, 50 * time.Microsecond, time.Millisecond} {
+		ctx, cancelMid := context.WithCancel(context.Background())
+		profs := make([]model.Profile, 400)
+		for i := range profs {
+			profs[i] = synthProfile(rng, fmt.Sprintf("mid%d", i))
+		}
+		done := make(chan struct {
+			n   int
+			err error
+		}, 1)
+		go func() {
+			ids, err := ix.InsertAll(ctx, profs)
+			done <- struct {
+				n   int
+				err error
+			}{len(ids), err}
+		}()
+		time.Sleep(delay)
+		cancelMid()
+		res := <-done
+		if res.err != nil && res.err != context.Canceled {
+			t.Fatalf("delay %v: err = %v", delay, res.err)
+		}
+		if res.err == context.Canceled && res.n == len(profs) {
+			t.Errorf("delay %v: cancelled batch reported all %d profiles", delay, res.n)
+		}
+	}
+	checkIndexEquivalence(t, "post-cancellation", p, ix)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > base {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Errorf("goroutines leaked after cancelled inserts: %d > %d", n, base)
+	}
+}
+
+// TestInsertConcurrentReads serves candidate queries from other
+// goroutines while inserting — the snapshot contract under -race.
+func TestInsertConcurrentReads(t *testing.T) {
+	ctx := context.Background()
+	rng := stats.NewRNG(31)
+	ds := synthDirty(rng, 60)
+	p, err := NewPipeline(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := p.BuildIndex(ctx, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	doneReading := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		go func(r int) {
+			defer func() { doneReading <- struct{}{} }()
+			var buf []Candidate
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := ix.NumProfiles()
+				buf = ix.AppendCandidates(buf[:0], (i*7+r)%n)
+				ix.Threshold(i % (n + 2))
+				if i%50 == 0 {
+					ix.Pairs()
+				}
+			}
+		}(r)
+	}
+	for b := 0; b < 10; b++ {
+		profs := make([]model.Profile, 5)
+		for i := range profs {
+			profs[i] = synthProfile(rng, fmt.Sprintf("r%d-%d", b, i))
+		}
+		if _, err := ix.InsertAll(ctx, profs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	for r := 0; r < 4; r++ {
+		<-doneReading
+	}
+	checkIndexEquivalence(t, "concurrent", p, ix)
+}
+
+// TestInsertNoCooccurrence: a profile sharing no tokens with anything
+// stays edgeless (pending keys only); a second copy of it materializes
+// fresh blocks and the pair appears — both states matching cold rebuilds.
+func TestInsertNoCooccurrence(t *testing.T) {
+	ctx := context.Background()
+	rng := stats.NewRNG(77)
+	ds := synthDirty(rng, 30)
+	p, err := NewPipeline(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := p.BuildIndex(ctx, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loner := model.Profile{ID: "loner"}
+	loner.Add("name", "zzyzx qwxyz")
+	id1, err := ix.Insert(ctx, &loner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Candidates(id1); len(got) != 0 {
+		t.Fatalf("edgeless insert has %d candidates", len(got))
+	}
+	if st := ix.Stats(); st.PendingKeys == 0 {
+		t.Error("unseen tokens should be pending keys")
+	}
+	checkIndexEquivalence(t, "loner", p, ix)
+
+	twin := model.Profile{ID: "twin"}
+	twin.Add("name", "zzyzx qwxyz")
+	id2, err := ix.Insert(ctx, &twin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range ix.Candidates(id2) {
+		if int(c.ID) == id1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("materialized pending key did not connect the twins")
+	}
+	checkIndexEquivalence(t, "twins", p, ix)
+}

@@ -6,14 +6,33 @@ package blast
 // weighted, pruned blocking graph freezes naturally into a per-profile
 // lookup structure. Index is the online counterpart of the batch
 // pipeline — Candidates answers "who should profile i be compared
-// against?" in O(degree(i)) without touching any other node's state —
-// and the stepping stone toward incremental meta-blocking (profile
-// insertions only dirty the adjacency runs of co-blocked nodes).
+// against?" in O(degree(i)) without touching any other node's state.
+//
+// Incremental meta-blocking builds on exactly that node-locality: a new
+// profile only dirties the adjacency runs of its co-blocked neighbors,
+// so Insert tokenizes the profile against the frozen schema, appends it
+// to the live block collection, splices its adjacency run into a
+// copy-on-write overlay over the CSR, reweighs only the edges whose
+// weight inputs changed, re-reduces theta_i for exactly the touched
+// nodes and re-evaluates only their retention marks — no global rebuild.
+// When a change does invalidate a graph-global input (a new block under
+// a |B|-dependent weighting, any insert under a cardinality-budget
+// pruning), the index falls back to re-deriving weights and retention
+// from the spliced adjacency, which still skips the dominant cost of a
+// cold build: re-scanning the block collection into a graph.
+//
+// The correctness contract is strict and enforced by randomized
+// differential tests: after any insert sequence, Pairs(), Candidates(i)
+// and Threshold(i) are byte-identical to a cold IndexBlocks over the
+// live (appended) collection. Cleaning is frozen — Block Purging and
+// Filtering decisions are never revisited for streamed profiles.
 
 import (
 	"context"
 	"errors"
+	"fmt"
 	"slices"
+	"sync"
 	"time"
 
 	"blast/internal/blocking"
@@ -34,19 +53,57 @@ type Candidate struct {
 	Weight float64
 }
 
-// Index is the frozen, queryable form of a completed pipeline run: the
-// cleaned block collection, the CSR adjacency with final edge weights,
-// the per-node pruning thresholds, and the per-entry retention decision.
-// It is immutable after construction and safe for concurrent queries.
+// IndexStats summarizes the incremental-update state of an Index.
+type IndexStats struct {
+	// Inserts is the number of profiles inserted since construction.
+	Inserts int
+	// LocalizedBatches counts insert batches finalized on the localized
+	// path (touched-run reweigh + re-prune only).
+	LocalizedBatches int
+	// RebuiltBatches counts insert batches that re-derived weights and
+	// retention globally from the spliced adjacency (graph-global weight
+	// input changed, or a non-node-local pruning scheme).
+	RebuiltBatches int
+	// Compactions counts overlay compactions (automatic and explicit).
+	Compactions int
+	// OverlayEntries is the number of adjacency entries currently held in
+	// copy-on-write overlay rows.
+	OverlayEntries int
+	// OverlayLoad is OverlayEntries as a fraction of the base entries —
+	// the automatic-compaction trigger metric.
+	OverlayLoad float64
+	// PendingKeys is the number of streamed blocking keys still waiting
+	// for their first valid comparison before forming a block.
+	PendingKeys int
+}
+
+// Index is the queryable form of a completed pipeline run: the cleaned
+// block collection, the CSR adjacency with final edge weights, the
+// per-node pruning thresholds, and the per-entry retention decision.
+// It is safe for concurrent queries; Insert, InsertAll and Compact
+// mutate it under an internal lock (readers see either the state before
+// or after a whole insert batch, never a partial one).
 type Index struct {
+	mu         sync.RWMutex
 	kind       model.Kind
 	collection *blocking.Collection
 	schema     *Schema
+	opt        Options
 	csr        *graph.CSR
 	retained   []bool
 	theta      []float64
 	pairs      []model.IDPair
-	buildTime  time.Duration
+	pairsValid bool
+	// retainedEntries counts marked adjacency entries (2 per retained
+	// pair), so NumRetained stays O(1) while the pair list is lazily
+	// invalidated by inserts.
+	retainedEntries int64
+	buildTime       time.Duration
+
+	// Mutable state, nil until the first Insert.
+	app   *blocking.Appender
+	ov    *graph.Overlay
+	stats IndexStats
 }
 
 // BuildIndex runs the full pipeline on the dataset and freezes the
@@ -75,7 +132,10 @@ func (p *Pipeline) BuildIndex(ctx context.Context, ds *model.Dataset) (*Index, e
 // decides retention, and the per-entry decisions are kept alongside the
 // weights for per-profile lookup. The engine option is ignored — an
 // index is by nature node-centric — but the retained pairs are
-// byte-identical to both engines' batch output.
+// byte-identical to both engines' batch output. The co-occurrence
+// statistics are released after weighting (a query-only index stays at
+// its serving footprint); the first Insert re-derives them with one
+// graph pass over the retained collection.
 func (p *Pipeline) IndexBlocks(ctx context.Context, blocks *Blocks) (*Index, error) {
 	if p.opt.Supervised {
 		return nil, errSupervisedIndex
@@ -95,11 +155,38 @@ func (p *Pipeline) IndexBlocks(ctx context.Context, blocks *Blocks) (*Index, err
 		return nil, err
 	}
 
-	pairs, err := metablocking.PruneCSR(ctx, csr, p.metaConfig())
+	pairs, retained, theta, err := freezeDecisions(ctx, csr, p.opt)
 	if err != nil {
 		return nil, err
 	}
 
+	ix := &Index{
+		kind:            c.Kind,
+		collection:      c,
+		schema:          blocks.Schema,
+		opt:             p.opt,
+		csr:             csr,
+		retained:        retained,
+		theta:           theta,
+		pairs:           pairs,
+		pairsValid:      true,
+		retainedEntries: 2 * int64(len(pairs)),
+		buildTime:       time.Since(t0),
+	}
+	p.opt.progress("index", ix.buildTime)
+	return ix, nil
+}
+
+// freezeDecisions derives the pruning outcome of a weighted CSR: the
+// retained pairs in canonical order, the per-entry retention mask, and
+// the per-node thresholds. It is the shared tail of a cold IndexBlocks
+// and of the incremental path's global re-derivation, which is what
+// makes the two byte-identical by construction.
+func freezeDecisions(ctx context.Context, csr *graph.CSR, opt Options) ([]model.IDPair, []bool, []float64, error) {
+	pairs, err := metablocking.PruneCSR(ctx, csr, metaConfigFromOptions(opt))
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	// Mark both entries of every retained edge. The pruning schemes emit
 	// pairs in canonical order — the exact order CanonicalMirrorCtx
 	// visits edges — so a single merge pass resolves pair -> entry.
@@ -113,26 +200,13 @@ func (p *Pipeline) IndexBlocks(ctx context.Context, blocks *Blocks) (*Index, err
 		}
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-
-	theta, err := nodeThresholds(ctx, csr, p.opt)
+	theta, err := nodeThresholds(ctx, csr, opt)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-
-	ix := &Index{
-		kind:       c.Kind,
-		collection: c,
-		schema:     blocks.Schema,
-		csr:        csr,
-		retained:   retained,
-		theta:      theta,
-		pairs:      pairs,
-		buildTime:  time.Since(t0),
-	}
-	p.opt.progress("index", ix.buildTime)
-	return ix, nil
+	return pairs, retained, theta, nil
 }
 
 // nodeThresholds materializes the per-node pruning thresholds theta_i
@@ -151,16 +225,39 @@ func nodeThresholds(ctx context.Context, csr *graph.CSR, opt Options) ([]float64
 	}
 }
 
-// NumProfiles returns the number of profiles the index covers.
-func (ix *Index) NumProfiles() int { return ix.csr.NumProfiles }
+// NumProfiles returns the number of profiles the index covers, including
+// inserted ones.
+func (ix *Index) NumProfiles() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.numProfilesLocked()
+}
+
+func (ix *Index) numProfilesLocked() int {
+	if ix.ov != nil {
+		return ix.ov.NumProfiles()
+	}
+	return ix.csr.NumProfiles
+}
 
 // NumEdges returns the number of distinct comparisons of the underlying
 // blocking graph (before pruning).
-func (ix *Index) NumEdges() int { return ix.csr.NumEdges() }
+func (ix *Index) NumEdges() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.ov != nil {
+		return ix.ov.NumEdges()
+	}
+	return ix.csr.NumEdges()
+}
 
 // NumRetained returns the number of comparisons the pruning retained —
 // the length of Pairs.
-func (ix *Index) NumRetained() int { return len(ix.pairs) }
+func (ix *Index) NumRetained() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return int(ix.retainedEntries / 2)
+}
 
 // Kind returns the ER setting of the indexed dataset.
 func (ix *Index) Kind() model.Kind { return ix.kind }
@@ -169,20 +266,44 @@ func (ix *Index) Kind() model.Kind { return ix.kind }
 // for a schema-agnostic index).
 func (ix *Index) Schema() *Schema { return ix.schema }
 
-// Blocks returns the cleaned block collection the index was built from.
-// The collection is shared with the index and must not be modified.
-func (ix *Index) Blocks() *blocking.Collection { return ix.collection }
+// Blocks returns the block collection backing the index. Before the
+// first Insert this is the collection of the Blocks artifact the index
+// was built from; the first Insert replaces it with a private clone that
+// subsequent inserts extend (the artifact is never mutated). The
+// returned collection must not be modified.
+func (ix *Index) Blocks() *blocking.Collection {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.collection
+}
 
 // BuildTime returns the wall-clock time IndexBlocks spent freezing the
 // index (graph, weighting, pruning and retention marks).
 func (ix *Index) BuildTime() time.Duration { return ix.buildTime }
 
+// Stats returns the incremental-update counters of the index.
+func (ix *Index) Stats() IndexStats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	st := ix.stats
+	if ix.ov != nil {
+		st.OverlayEntries = ix.ov.OverlayEntries()
+		st.OverlayLoad = ix.ov.OverlayLoad()
+	}
+	if ix.app != nil {
+		st.PendingKeys = ix.app.PendingKeys()
+	}
+	return st
+}
+
 // Threshold returns theta_i, the node-local pruning threshold of a
 // profile, for the threshold-based schemes (BlastWNP, WNP1, WNP2); 0 for
 // profiles without edges, out-of-range ids, or schemes without per-node
 // thresholds. The node-locality of theta_i is what makes per-profile
-// serving (and, prospectively, incremental updates) possible.
+// serving and incremental updates possible.
 func (ix *Index) Threshold(profile int) float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	if ix.theta == nil || profile < 0 || profile >= len(ix.theta) {
 		return 0
 	}
@@ -191,10 +312,12 @@ func (ix *Index) Threshold(profile int) float64 {
 
 // Candidates returns the retained candidate comparisons of one profile,
 // ordered by descending weight (ties by ascending id). The result is
-// freshly allocated; use AppendCandidates to amortize allocations in a
-// serving loop.
+// freshly allocated and never nil; profiles without retained comparisons
+// — including out-of-range ids, which are answered with an empty slice
+// rather than a panic — yield a non-nil empty slice. Use
+// AppendCandidates to amortize allocations in a serving loop.
 func (ix *Index) Candidates(profile int) []Candidate {
-	return ix.AppendCandidates(nil, profile)
+	return ix.AppendCandidates(make([]Candidate, 0, 4), profile)
 }
 
 // AppendCandidates appends the retained candidate comparisons of one
@@ -203,14 +326,25 @@ func (ix *Index) Candidates(profile int) []Candidate {
 // profiles append nothing. Cost is O(degree) plus the sort of the
 // retained run; no allocation occurs when buf has capacity.
 func (ix *Index) AppendCandidates(buf []Candidate, profile int) []Candidate {
-	if profile < 0 || profile >= ix.csr.NumProfiles {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if profile < 0 || profile >= ix.numProfilesLocked() {
 		return buf
 	}
 	start := len(buf)
-	lo, hi := ix.csr.Offsets[profile], ix.csr.Offsets[profile+1]
-	for p := lo; p < hi; p++ {
-		if ix.retained[p] {
-			buf = append(buf, Candidate{ID: ix.csr.Neighbors[p], Weight: ix.csr.Weights[p]})
+	if ix.ov != nil {
+		run := ix.ov.Run(int32(profile))
+		for i, v := range run.Neighbors {
+			if run.Retained[i] {
+				buf = append(buf, Candidate{ID: v, Weight: run.Weights[i]})
+			}
+		}
+	} else {
+		lo, hi := ix.csr.Offsets[profile], ix.csr.Offsets[profile+1]
+		for p := lo; p < hi; p++ {
+			if ix.retained[p] {
+				buf = append(buf, Candidate{ID: ix.csr.Neighbors[p], Weight: ix.csr.Weights[p]})
+			}
 		}
 	}
 	out := buf[start:]
@@ -233,8 +367,566 @@ func (ix *Index) AppendCandidates(buf []Candidate, profile int) []Candidate {
 
 // Pairs returns the full batch output of the index: every retained
 // comparison in canonical order, byte-identical to the Pairs of the
-// staged pipeline and of legacy Run under the same options. The slice is
-// freshly allocated and owned by the caller.
+// staged pipeline and of legacy Run under the same options (and, after
+// inserts, to a cold IndexBlocks over the live collection). The slice is
+// freshly allocated and owned by the caller. After inserts the pair list
+// is rematerialized lazily on the first call.
 func (ix *Index) Pairs() []model.IDPair {
+	ix.mu.RLock()
+	if ix.pairsValid {
+		out := append([]model.IDPair(nil), ix.pairs...)
+		ix.mu.RUnlock()
+		return out
+	}
+	ix.mu.RUnlock()
+
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if !ix.pairsValid {
+		pairs := make([]model.IDPair, 0, ix.retainedEntries/2)
+		// The overlay exists whenever pairs are invalidated; iterate the
+		// live adjacency in canonical order, the exact order every
+		// streaming pruning scheme emits.
+		_ = ix.ov.ForEachCanonical(context.Background(), func(u, v int32, _ float64, retained bool) {
+			if retained {
+				pairs = append(pairs, model.IDPair{U: u, V: v})
+			}
+		})
+		ix.pairs = pairs
+		ix.pairsValid = true
+	}
 	return append([]model.IDPair(nil), ix.pairs...)
+}
+
+// Insert adds one profile to the index and returns its assigned global
+// id. The profile is tokenized against the frozen schema (attributes
+// unknown to the schema are not indexed), appended to the live block
+// collection, and folded into the weighted, pruned blocking graph
+// incrementally; afterwards the index is byte-identical to a cold
+// IndexBlocks over the live collection. For clean-clean indexes the
+// profile joins E2 — streaming new entities against a fixed reference
+// collection; dirty indexes have a single source. The caller's original
+// Dataset and Blocks artifacts are never mutated (the first Insert
+// clones the collection).
+//
+// ctx is observed before any mutation; once the profile is appended the
+// update always runs to completion so the index never ends up between
+// states.
+func (ix *Index) Insert(ctx context.Context, p *model.Profile) (int, error) {
+	if p == nil {
+		return -1, errors.New("blast: Insert requires a non-nil profile")
+	}
+	ids, err := ix.InsertAll(ctx, []model.Profile{*p})
+	if len(ids) == 1 {
+		return ids[0], err
+	}
+	return -1, err
+}
+
+// InsertAll adds a batch of profiles, amortizing the re-weighting and
+// re-pruning work across the whole batch, and returns the assigned
+// global ids in order. Cancellation is observed between profiles: on a
+// cancelled context the already-appended prefix is finalized (leaving
+// the index consistent and equivalent to a cold rebuild over it), the
+// prefix ids are returned together with ctx.Err().
+func (ix *Index) InsertAll(ctx context.Context, profiles []model.Profile) ([]int, error) {
+	if len(profiles) == 0 {
+		return nil, ctx.Err()
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ix.ensureMutableLocked()
+
+	st := newInsertState()
+	var ids []int
+	var cancelErr error
+	for i := range profiles {
+		if err := ctx.Err(); err != nil {
+			cancelErr = err
+			break
+		}
+		id, err := ix.appendOneLocked(&profiles[i], st)
+		if err != nil {
+			// Structural invariant violation; the collection append
+			// already happened, so finalize what landed before failing.
+			ix.finalizeLocked(st)
+			return ids, err
+		}
+		ids = append(ids, int(id))
+	}
+	ix.finalizeLocked(st)
+	return ids, cancelErr
+}
+
+// Compact folds the insert overlay into a fresh flat base CSR,
+// preserving weights, retention marks and thresholds. It is a no-op on
+// an index without materialized overlay rows. Automatic compaction is
+// governed by Options.Compaction; this call forces one regardless.
+// Cancellation is honored mid-fold: on error the overlay is untouched.
+func (ix *Index) Compact(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.ov == nil || ix.ov.OverlayEntries() == 0 {
+		return nil
+	}
+	return ix.compactLocked(ctx)
+}
+
+// ensureMutableLocked prepares the index for its first insert: the
+// collection is cloned (the Blocks artifact stays frozen), an appender
+// is indexed over the clone, the per-entry co-occurrence statistics —
+// released after the cold build so query-only indexes stay at their
+// serving footprint — are re-derived with one graph pass, and the CSR
+// is wrapped in a copy-on-write overlay that takes ownership of the
+// retention mask.
+func (ix *Index) ensureMutableLocked() {
+	if ix.ov != nil {
+		return
+	}
+	ix.collection = ix.collection.Clone()
+	ix.app = blocking.NewAppender(ix.collection)
+	if ix.csr.Common == nil && len(ix.csr.Neighbors) > 0 {
+		// The rebuild is structurally byte-identical to the frozen CSR
+		// (same collection, deterministic builder), so the computed
+		// weights carry over entry for entry.
+		rebuilt, err := graph.BuildCSRParallelCtx(context.Background(), ix.collection, ix.opt.Workers)
+		if err != nil {
+			panic(err) // background context never cancels
+		}
+		rebuilt.Weights = ix.csr.Weights
+		ix.csr = rebuilt
+	}
+	ix.ov = graph.NewOverlay(ix.csr, ix.retained)
+}
+
+// insertState accumulates, across one InsertAll batch, everything the
+// finalize step needs to decide between the localized and the global
+// re-derivation path and to bound the localized work.
+type insertState struct {
+	newIDs []int32
+	// created counts new blocks (graph-global |B| changed).
+	created int
+	// addedEdges counts spliced half-edges' canonical edges (|E| changed).
+	addedEdges int
+	// reweighRuns are existing nodes whose whole run must be reweighed:
+	// their |B_i| changed (pending-key materialization) or, under an
+	// ARCS-consuming scheme, their co-occurrence mass shifted.
+	reweighRuns map[int32]struct{}
+	// arcsBlocks are blocks that grew, dirtying the ARCS mass of every
+	// pair inside them (tracked only for ARCS-consuming schemes).
+	arcsBlocks map[int32]struct{}
+}
+
+func newInsertState() *insertState {
+	return &insertState{
+		reweighRuns: make(map[int32]struct{}),
+		arcsBlocks:  make(map[int32]struct{}),
+	}
+}
+
+// appendOneLocked performs the structural part of one insert: collection
+// append, adjacency-run accumulation, overlay append and mirror splices.
+// Weighting and pruning are deferred to finalizeLocked.
+func (ix *Index) appendOneLocked(p *model.Profile, st *insertState) (int32, error) {
+	res := ix.app.Append(ix.profileKeys(p))
+	ix.ov.AddBlocks(len(res.Created))
+	ix.ov.AddComparisons(res.ComparisonsDelta)
+	for _, m := range res.CountChanged {
+		ix.ov.IncBlockCount(m)
+		st.reweighRuns[m] = struct{}{}
+	}
+
+	neighbors, common, arcs, entropy := ix.accumulateRun(res.ID)
+	row := &graph.Row{
+		Neighbors:  neighbors,
+		Common:     common,
+		ARCS:       arcs,
+		EntropySum: entropy,
+		Weights:    make([]float64, len(neighbors)),
+		Retained:   make([]bool, len(neighbors)),
+	}
+	id, err := ix.ov.AppendRow(row, int32(len(res.Joined)))
+	if err != nil {
+		return -1, err
+	}
+	if id != res.ID {
+		return -1, fmt.Errorf("blast: insert id drift: collection %d, graph %d", res.ID, id)
+	}
+	for i, v := range neighbors {
+		if _, _, err := ix.ov.Splice(v, id, common[i], arcs[i], entropy[i]); err != nil {
+			return -1, err
+		}
+	}
+	if ix.theta != nil {
+		ix.theta = append(ix.theta, 0)
+	}
+
+	st.newIDs = append(st.newIDs, id)
+	st.created += len(res.Created)
+	st.addedEdges += len(neighbors)
+	if ix.opt.Scheme.UsesARCS() {
+		for _, bi := range res.Joined {
+			grown := true
+			for _, ci := range res.Created {
+				if ci == bi {
+					grown = false // fresh two-member block: its only pair is new
+					break
+				}
+			}
+			if grown {
+				st.arcsBlocks[bi] = struct{}{}
+			}
+		}
+	}
+	ix.stats.Inserts++
+	return id, nil
+}
+
+// profileKeys tokenizes a profile against the frozen schema exactly as
+// Phase 2 blocking would: the value transform extracts terms, the
+// schema's key function qualifies them, and re-occurrences of a key
+// within the profile are deduplicated.
+func (ix *Index) profileKeys(p *model.Profile) []blocking.KeyEntropy {
+	key := ix.schema.keyFunc()
+	source := 0
+	if ix.kind == model.CleanClean {
+		source = 1 // streamed profiles join E2
+	}
+	seen := make(map[string]bool)
+	var out []blocking.KeyEntropy
+	for _, pair := range p.Pairs {
+		for _, tok := range ix.opt.Transform.Terms(pair.Value) {
+			k, h, ok := key(source, pair.Name, tok)
+			if !ok || seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, blocking.KeyEntropy{Key: k, Entropy: h})
+		}
+	}
+	return out
+}
+
+// accumulateRun computes a node's adjacency run (neighbors ascending,
+// with co-occurrence accumulators) from its live block memberships,
+// visiting blocks in ascending index order so every floating-point sum
+// is bit-identical to a cold BuildCSR over the same collection.
+func (ix *Index) accumulateRun(n int32) (neighbors, common []int32, arcs, entropy []float64) {
+	type acc struct {
+		common  int32
+		arcs    float64
+		entropy float64
+	}
+	c := ix.collection
+	m := make(map[int32]*acc)
+	add := func(j int32, inv, h float64) {
+		a := m[j]
+		if a == nil {
+			a = &acc{}
+			m[j] = a
+			neighbors = append(neighbors, j)
+		}
+		a.common++
+		a.arcs += inv
+		a.entropy += h
+	}
+	for _, bi := range ix.app.BlocksOf(n) {
+		b := &c.Blocks[bi]
+		cmp := b.Comparisons()
+		if cmp == 0 {
+			continue
+		}
+		inv := 1 / float64(cmp)
+		if b.P2 != nil {
+			others := b.P2
+			if int(n) >= c.Split {
+				others = b.P1
+			}
+			for _, j := range others {
+				add(j, inv, b.Entropy)
+			}
+			continue
+		}
+		for _, j := range b.P1 {
+			if j != n {
+				add(j, inv, b.Entropy)
+			}
+		}
+	}
+	slices.Sort(neighbors)
+	common = make([]int32, len(neighbors))
+	arcs = make([]float64, len(neighbors))
+	entropy = make([]float64, len(neighbors))
+	for i, j := range neighbors {
+		a := m[j]
+		common[i], arcs[i], entropy[i] = a.common, a.arcs, a.entropy
+	}
+	return neighbors, common, arcs, entropy
+}
+
+// finalizeLocked turns the batch's structural changes into final
+// weights, thresholds and retention marks. It always runs to completion
+// (no cancellation): interrupting between the collection append and the
+// decision update would leave the index between states.
+func (ix *Index) finalizeLocked(st *insertState) {
+	if len(st.newIDs) == 0 {
+		return
+	}
+	ix.pairs, ix.pairsValid = nil, false
+
+	// Fix co-occurrence accumulators first: under an ARCS-consuming
+	// scheme every pair inside a grown block carries a changed 1/||b||
+	// mass, so the member runs are re-accumulated from the live
+	// collection (bit-identical to a cold build) before any weighting.
+	if ix.opt.Scheme.UsesARCS() && len(st.arcsBlocks) > 0 {
+		for _, n := range ix.membersOf(st.arcsBlocks) {
+			_, common, arcs, entropy := ix.accumulateRun(n)
+			if err := ix.ov.ReplaceStats(n, common, arcs, entropy); err != nil {
+				// The spliced run always matches a fresh accumulation of
+				// the live collection; a mismatch is a broken invariant.
+				panic(err)
+			}
+			st.reweighRuns[n] = struct{}{}
+		}
+	}
+
+	localized := ix.opt.Pruning.NodeLocal() &&
+		!(ix.opt.Scheme.UsesTotalBlocks() && st.created > 0) &&
+		!(ix.opt.Scheme.UsesEdgeCount() && st.addedEdges > 0)
+	if !localized {
+		ix.rebuildDecisionsLocked()
+		ix.stats.RebuiltBatches++
+		return
+	}
+	ix.localizedFinalize(st)
+	ix.stats.LocalizedBatches++
+
+	cp := ix.opt.Compaction
+	if !cp.disabled() && ix.ov.OverlayEntries() >= cp.minEntries() && ix.ov.OverlayLoad() > cp.maxFraction() {
+		// compactLocked cannot fail here: a mutable index always retains
+		// its co-occurrence statistics and the background context never
+		// cancels.
+		_ = ix.compactLocked(context.Background())
+	}
+}
+
+// membersOf collects the distinct member profiles of a block set,
+// ascending.
+func (ix *Index) membersOf(blocks map[int32]struct{}) []int32 {
+	seen := make(map[int32]struct{})
+	var out []int32
+	for bi := range blocks {
+		b := &ix.collection.Blocks[bi]
+		for _, m := range b.P1 {
+			seen[m] = struct{}{}
+		}
+		for _, m := range b.P2 {
+			seen[m] = struct{}{}
+		}
+	}
+	for m := range seen {
+		out = append(out, m)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// localizedFinalize is the fast path: reweigh exactly the edges whose
+// inputs changed, re-reduce theta_i for the nodes whose run weights
+// changed, and re-evaluate retention only where a weight or a threshold
+// moved. Everything else keeps its frozen decision, which is provably
+// the cold decision because its inputs are unchanged.
+func (ix *Index) localizedFinalize(st *insertState) {
+	ov := ix.ov
+	w := ix.opt.Scheme.Weigher(ov.NumEdges(), ov.TotalBlocks())
+
+	type edgeRef struct {
+		u  int32 // canonical u < v
+		v  int32
+		pu int // position of v in u's run
+		pv int // position of u in v's run
+	}
+	var dirtyEdges []edgeRef
+	weightTouched := make(map[int32]struct{})
+
+	// computeWeight evaluates the scheme for the canonical edge (u < v)
+	// using u's entry statistics — the exact argument order ApplyCSR
+	// uses, so recomputed values are bit-identical to a cold weighting.
+	computeWeight := func(u, v int32, pu int) float64 {
+		run := ov.Run(u)
+		return w.Weight(run.Common[pu],
+			ov.BlockCount(u), ov.BlockCount(v),
+			int32(ov.Degree(u)), int32(ov.Degree(v)),
+			run.ARCS[pu], run.EntropySum[pu])
+	}
+
+	// New edges: every spliced edge has its larger endpoint among the new
+	// ids, so iterating the new rows and skipping larger neighbors (edges
+	// between two new profiles, owned by the later one) enumerates each
+	// exactly once, always in canonical orientation.
+	for _, x := range st.newIDs {
+		run := ov.Run(x)
+		for pos := range run.Neighbors {
+			v := run.Neighbors[pos]
+			if v > x {
+				continue
+			}
+			pv, ok := ov.FindNeighbor(v, x)
+			if !ok {
+				panic(fmt.Sprintf("blast: missing mirror entry (%d,%d)", v, x))
+			}
+			wt := computeWeight(v, x, pv)
+			ov.SetWeight(x, pos, wt)
+			ov.SetWeight(v, pv, wt)
+			weightTouched[x] = struct{}{}
+			weightTouched[v] = struct{}{}
+			dirtyEdges = append(dirtyEdges, edgeRef{u: v, v: x, pu: pv, pv: pos})
+		}
+	}
+
+	// Runs whose weight inputs changed wholesale (|B_i| bumped by a
+	// pending-key materialization, or ARCS mass re-accumulated): compare
+	// against the stored weight so only genuine changes propagate.
+	for n := range st.reweighRuns {
+		run := ov.Run(n)
+		for pos := range run.Neighbors {
+			v := run.Neighbors[pos]
+			pv, ok := ov.FindNeighbor(v, n)
+			if !ok {
+				panic(fmt.Sprintf("blast: missing mirror entry (%d,%d)", v, n))
+			}
+			u1, p1, u2, p2 := n, pos, v, pv
+			if v < n {
+				u1, p1, u2, p2 = v, pv, n, pos
+			}
+			wt := computeWeight(u1, u2, p1)
+			if wt == ov.WeightAt(u1, p1) {
+				continue
+			}
+			ov.SetWeight(u1, p1, wt)
+			ov.SetWeight(u2, p2, wt)
+			weightTouched[u1] = struct{}{}
+			weightTouched[u2] = struct{}{}
+			dirtyEdges = append(dirtyEdges, edgeRef{u: u1, v: u2, pu: p1, pv: p2})
+		}
+	}
+
+	// Re-reduce theta_i for every node whose run weights (or run length)
+	// changed; track which thresholds actually moved.
+	thetaChanged := make(map[int32]struct{})
+	for n := range weightTouched {
+		run := ov.Run(n)
+		var th float64
+		switch ix.opt.Pruning {
+		case metablocking.BlastWNP:
+			th = prune.BlastThresholdOf(run.Weights, ix.opt.C)
+		default: // WNP1, WNP2
+			th = prune.MeanThresholdOf(run.Weights)
+		}
+		if th != ix.theta[n] {
+			ix.theta[n] = th
+			thetaChanged[n] = struct{}{}
+		}
+	}
+
+	// Re-evaluate retention where a decision input moved: every edge
+	// incident to a node whose theta changed, plus every edge whose
+	// weight changed or is new.
+	reEval := func(u, v int32, pu, pv int) {
+		wt := ov.WeightAt(u, pu)
+		keep := wt > 0 && ix.keepEdge(wt, ix.theta[u], ix.theta[v])
+		if old := ov.SetRetained(u, pu, keep); old != keep {
+			if keep {
+				ix.retainedEntries++
+			} else {
+				ix.retainedEntries--
+			}
+		}
+		if old := ov.SetRetained(v, pv, keep); old != keep {
+			if keep {
+				ix.retainedEntries++
+			} else {
+				ix.retainedEntries--
+			}
+		}
+	}
+	for n := range thetaChanged {
+		run := ov.Run(n)
+		for pos := range run.Neighbors {
+			v := run.Neighbors[pos]
+			pv, ok := ov.FindNeighbor(v, n)
+			if !ok {
+				panic(fmt.Sprintf("blast: missing mirror entry (%d,%d)", v, n))
+			}
+			reEval(n, v, pos, pv)
+		}
+	}
+	for _, e := range dirtyEdges {
+		reEval(e.u, e.v, e.pu, e.pv)
+	}
+}
+
+// keepEdge applies the node-local retention criterion — the same
+// predicates the streaming pruners use (positive weight is checked by
+// the caller).
+func (ix *Index) keepEdge(w, thU, thV float64) bool {
+	switch ix.opt.Pruning {
+	case metablocking.BlastWNP:
+		return w >= (thU+thV)/ix.opt.D
+	case metablocking.WNP1:
+		return w >= thU || w >= thV
+	case metablocking.WNP2:
+		return w >= thU && w >= thV
+	default:
+		panic(fmt.Sprintf("blast: keepEdge on non-node-local pruning %v", ix.opt.Pruning))
+	}
+}
+
+// rebuildDecisionsLocked is the global fallback: compact the spliced
+// adjacency into a flat CSR, reapply the weighting scheme to every edge
+// from the retained co-occurrence statistics, and re-derive pruning,
+// retention marks and thresholds through the same code path a cold
+// IndexBlocks uses. This skips only — but exactly — the dominant cost of
+// a cold build: re-scanning the block collection into a graph.
+func (ix *Index) rebuildDecisionsLocked() {
+	// Background context: the update is committed structurally, so it
+	// must run to completion (see InsertAll's cancellation contract).
+	ctx := context.Background()
+	csr, _, err := ix.ov.Compact(ctx)
+	if err != nil {
+		panic(err) // a mutable index always retains its statistics
+	}
+	ix.opt.Scheme.ApplyCSR(csr)
+	pairs, retained, theta, err := freezeDecisions(ctx, csr, ix.opt)
+	if err != nil {
+		panic(err) // background context never cancels
+	}
+	ix.csr = csr
+	ix.retained = retained
+	ix.theta = theta
+	ix.pairs = pairs
+	ix.pairsValid = true
+	ix.retainedEntries = 2 * int64(len(pairs))
+	ix.ov = graph.NewOverlay(csr, retained)
+}
+
+// compactLocked folds the overlay into a fresh flat base, preserving
+// weights, retention marks and thresholds (no re-weighting). On error
+// (cancellation) the overlay is left untouched.
+func (ix *Index) compactLocked(ctx context.Context) error {
+	csr, retained, err := ix.ov.Compact(ctx)
+	if err != nil {
+		return err
+	}
+	ix.csr = csr
+	ix.retained = retained
+	ix.ov = graph.NewOverlay(csr, retained)
+	ix.stats.Compactions++
+	return nil
 }

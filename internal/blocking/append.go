@@ -1,0 +1,176 @@
+package blocking
+
+// Appendable block collections: the substrate of incremental
+// meta-blocking. A batch run freezes the cleaned collection once;
+// append-heavy streams (the open scaling case of the blocking surveys)
+// then need new profiles folded into that frozen collection without
+// re-running blocking. An Appender maintains the inverted structures a
+// cold build derives from scratch — key -> block, profile -> blocks,
+// per-profile block counts, the aggregate cardinality — and keeps them
+// consistent with the collection under profile appends, so graph-level
+// consumers can splice instead of rebuilding.
+//
+// Append semantics are deliberately "cleaning-frozen": Block Purging and
+// Block Filtering decisions made when the collection was built are never
+// revisited. A key that was purged or filtered away simply no longer
+// exists; new profiles carrying it accumulate under a fresh pending key
+// instead of resurrecting the old block's members.
+
+import (
+	"sort"
+
+	"blast/internal/model"
+)
+
+// KeyEntropy is one blocking key of a profile being appended, together
+// with the entropy h(b) its blocks inherit (1 for schema-agnostic keys).
+type KeyEntropy struct {
+	Key     string
+	Entropy float64
+}
+
+// AppendResult describes how one Append changed the collection.
+type AppendResult struct {
+	// ID is the global id assigned to the appended profile.
+	ID int32
+	// Joined lists the indexes of the blocks the profile became a member
+	// of, ascending. It includes Created and equals the profile's |B_i|.
+	Joined []int32
+	// Created is the subset of Joined that are new blocks, materialized
+	// from pending keys that reached their first valid comparison.
+	Created []int32
+	// CountChanged lists previously existing profiles whose block count
+	// |B_i| grew — members of pending keys that materialized into a
+	// block alongside the new profile. One entry per newly joined block,
+	// so a profile appears once per unit of |B_i| increase. Ascending.
+	CountChanged []int32
+	// ComparisonsDelta is the change in the collection's aggregate
+	// cardinality ||B||.
+	ComparisonsDelta int64
+}
+
+// pendingKey accumulates the members of a key that does not (yet) form a
+// block entailing at least one comparison. Singleton keys never enter
+// the collection: a comparison-free block would distort |B| and |B_i|
+// relative to what the key contributes, and could never be pruned away.
+// Only dirty collections keep pending keys — clean-clean appends are
+// E2-only, so an unknown key can never entail a cross-source comparison
+// and is dropped outright.
+type pendingKey struct {
+	entropy float64
+	p1      []int32
+}
+
+// Appender folds new profiles into an existing block collection. It owns
+// the collection it wraps: between NewAppender and the last Append no
+// other code may mutate the collection. It is not safe for concurrent
+// use; callers serialize access (the blast.Index does so under its own
+// lock).
+type Appender struct {
+	c       *Collection
+	byKey   map[string]int32
+	pending map[string]*pendingKey
+	perProf [][]int32 // profile -> ascending block indexes
+}
+
+// NewAppender indexes a collection for appends: key -> block and
+// profile -> blocks. Cost is one pass over the block memberships.
+func NewAppender(c *Collection) *Appender {
+	a := &Appender{
+		c:       c,
+		byKey:   make(map[string]int32, len(c.Blocks)),
+		pending: make(map[string]*pendingKey),
+		perProf: c.BlocksOfProfiles(),
+	}
+	for i := range c.Blocks {
+		a.byKey[c.Blocks[i].Key] = int32(i)
+	}
+	return a
+}
+
+// Collection returns the live collection the appender maintains.
+func (a *Appender) Collection() *Collection { return a.c }
+
+// BlocksOf returns the ascending block indexes of a profile. The slice
+// is owned by the appender and must not be modified.
+func (a *Appender) BlocksOf(p int32) []int32 { return a.perProf[p] }
+
+// BlockCount returns |B_p| under the live collection.
+func (a *Appender) BlockCount(p int32) int32 { return int32(len(a.perProf[p])) }
+
+// PendingKeys returns the number of keys waiting for their first valid
+// comparison before materializing into blocks.
+func (a *Appender) PendingKeys() int { return len(a.pending) }
+
+// Append adds a profile with the given blocking keys to the collection
+// and returns the assigned global id together with the structural
+// changes. Keys are deduplicated and processed in sorted order, so a
+// given (collection state, key set) always yields the same collection.
+//
+// For clean-clean collections the profile joins E2 (ids at the end of
+// the global id space); appending to E1 would shift every E2 id and is
+// not supported. For dirty collections there is only one source.
+func (a *Appender) Append(keys []KeyEntropy) AppendResult {
+	c := a.c
+	id := int32(c.NumProfiles)
+	res := AppendResult{ID: id}
+
+	// Deterministic key order: sort, then drop duplicates (first wins).
+	ks := append([]KeyEntropy(nil), keys...)
+	sort.Slice(ks, func(i, j int) bool { return ks[i].Key < ks[j].Key })
+	for i, ke := range ks {
+		if i > 0 && ke.Key == ks[i-1].Key {
+			continue
+		}
+		if bi, ok := a.byKey[ke.Key]; ok {
+			b := &c.Blocks[bi]
+			old := b.Comparisons()
+			if c.Kind == model.CleanClean {
+				b.P2 = append(b.P2, id)
+			} else {
+				b.P1 = append(b.P1, id)
+			}
+			res.ComparisonsDelta += b.Comparisons() - old
+			res.Joined = append(res.Joined, bi)
+			continue
+		}
+		if c.Kind == model.CleanClean {
+			// Appends only ever add E2 members, so a key unknown to the
+			// collection can never entail a cross-source comparison:
+			// accumulating it as pending would only leak memory.
+			continue
+		}
+		pk := a.pending[ke.Key]
+		if pk == nil {
+			pk = &pendingKey{entropy: ke.Entropy}
+			a.pending[ke.Key] = pk
+		}
+		pk.p1 = append(pk.p1, id)
+		nb := Block{Key: ke.Key, Entropy: pk.entropy, P1: pk.p1}
+		if nb.Comparisons() == 0 {
+			continue // still pending
+		}
+		// Materialize: the key's members finally entail a comparison.
+		bi := int32(len(c.Blocks))
+		c.Blocks = append(c.Blocks, nb)
+		a.byKey[ke.Key] = bi
+		delete(a.pending, ke.Key)
+		res.ComparisonsDelta += nb.Comparisons()
+		res.Joined = append(res.Joined, bi)
+		res.Created = append(res.Created, bi)
+		for _, m := range nb.P1 {
+			if m == id {
+				continue
+			}
+			// A new block index is always the largest, so appending keeps
+			// the member's block list ascending.
+			a.perProf[m] = append(a.perProf[m], bi)
+			res.CountChanged = append(res.CountChanged, m)
+		}
+	}
+	c.NumProfiles++
+	sort.Slice(res.Joined, func(i, j int) bool { return res.Joined[i] < res.Joined[j] })
+	a.perProf = append(a.perProf, append([]int32(nil), res.Joined...))
+	sort.Slice(res.CountChanged, func(i, j int) bool { return res.CountChanged[i] < res.CountChanged[j] })
+	return res
+}

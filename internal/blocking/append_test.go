@@ -1,0 +1,228 @@
+package blocking
+
+// Tests of the appendable-Collection invariants: after any sequence of
+// appends, the appender-maintained structures (key index, per-profile
+// block lists, cardinality deltas) must agree with a fresh recomputation
+// over the collection, the collection must stay Validate-clean, and
+// pending keys must materialize exactly when they first entail a
+// comparison.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"blast/internal/model"
+	"blast/internal/stats"
+)
+
+// randomKeys draws a random key set (some existing, some fresh) for one
+// append.
+func randomKeys(rng *stats.RNG, existing []string) []KeyEntropy {
+	var out []KeyEntropy
+	n := 1 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		if len(existing) > 0 && rng.Intn(3) > 0 {
+			out = append(out, KeyEntropy{Key: existing[rng.Intn(len(existing))], Entropy: 1})
+		} else {
+			out = append(out, KeyEntropy{Key: fmt.Sprintf("fresh%03d", rng.Intn(40)), Entropy: 0.5})
+		}
+	}
+	// Occasionally duplicate a key within the call: Append must dedupe.
+	if len(out) > 1 && rng.Intn(3) == 0 {
+		out = append(out, out[0])
+	}
+	return out
+}
+
+// checkAppenderInvariants compares every appender-maintained statistic
+// against a fresh recomputation over the live collection.
+func checkAppenderInvariants(t *testing.T, a *Appender, wantComparisons int64) {
+	t.Helper()
+	c := a.Collection()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("collection invalid after appends: %v", err)
+	}
+	if got := c.AggregateCardinality(); got != wantComparisons {
+		t.Fatalf("||B|| = %d, tracked deltas say %d", got, wantComparisons)
+	}
+	counts := c.ProfileBlockCounts()
+	perProf := c.BlocksOfProfiles()
+	for p := 0; p < c.NumProfiles; p++ {
+		if a.BlockCount(int32(p)) != counts[p] {
+			t.Fatalf("profile %d: appender |B_i| = %d, recomputed %d", p, a.BlockCount(int32(p)), counts[p])
+		}
+		got := a.BlocksOf(int32(p))
+		if len(got) != len(perProf[p]) {
+			t.Fatalf("profile %d: appender lists %d blocks, recomputed %d", p, len(got), len(perProf[p]))
+		}
+		for i := range got {
+			if got[i] != perProf[p][i] {
+				t.Fatalf("profile %d: block list diverges at %d: %d vs %d", p, i, got[i], perProf[p][i])
+			}
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				t.Fatalf("profile %d: block list not ascending", p)
+			}
+		}
+	}
+	// No materialized block may be comparison-free, and every block key
+	// must be unique and indexed.
+	seen := make(map[string]bool)
+	for i := range c.Blocks {
+		b := &c.Blocks[i]
+		if b.Comparisons() == 0 {
+			t.Fatalf("block %q entails no comparisons", b.Key)
+		}
+		if seen[b.Key] {
+			t.Fatalf("duplicate block key %q", b.Key)
+		}
+		seen[b.Key] = true
+	}
+}
+
+// baseCollection builds a small cleaned dirty collection to append onto.
+func baseCollection(rng *stats.RNG, profiles, blocks int) *Collection {
+	c := RandomCollection(rng, model.Dirty, profiles, blocks)
+	// Give blocks realistic keys and run the cleaning workflow so the
+	// appender starts from the same shape the pipeline produces.
+	return CleanWorkflow(c, 0.8, 0.9)
+}
+
+func TestAppenderRandomizedInvariants(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		rng := stats.NewRNG(seed * 7919)
+		c := baseCollection(rng, 20+rng.Intn(30), 15+rng.Intn(30))
+		existing := make([]string, 0, len(c.Blocks))
+		for i := range c.Blocks {
+			existing = append(existing, c.Blocks[i].Key)
+		}
+		a := NewAppender(c)
+		comparisons := c.AggregateCardinality()
+		for step := 0; step < 25; step++ {
+			before := c.NumProfiles
+			res := a.Append(randomKeys(rng, existing))
+			if int(res.ID) != before || c.NumProfiles != before+1 {
+				t.Fatalf("seed %d step %d: id %d, profiles %d -> %d", seed, step, res.ID, before, c.NumProfiles)
+			}
+			comparisons += res.ComparisonsDelta
+			if len(res.Joined) != len(a.BlocksOf(res.ID)) {
+				t.Fatalf("seed %d step %d: Joined %d vs recorded %d", seed, step, len(res.Joined), len(a.BlocksOf(res.ID)))
+			}
+			for _, bi := range res.Created {
+				found := false
+				for _, ji := range res.Joined {
+					if ji == bi {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("seed %d step %d: created block %d not in Joined", seed, step, bi)
+				}
+			}
+		}
+		checkAppenderInvariants(t, a, comparisons)
+	}
+}
+
+func TestAppenderPendingMaterialization(t *testing.T) {
+	rng := stats.NewRNG(3)
+	c := baseCollection(rng, 12, 10)
+	a := NewAppender(c)
+	comparisons := c.AggregateCardinality()
+	blocksBefore := c.Len()
+
+	// First carrier of a fresh key: pending, no block, |B_i| excludes it.
+	r1 := a.Append([]KeyEntropy{{Key: "unique-xyz", Entropy: 2}})
+	comparisons += r1.ComparisonsDelta
+	if len(r1.Joined) != 0 || len(r1.Created) != 0 || r1.ComparisonsDelta != 0 {
+		t.Fatalf("first carrier joined %v created %v", r1.Joined, r1.Created)
+	}
+	if a.PendingKeys() != 1 || c.Len() != blocksBefore {
+		t.Fatalf("pending %d, blocks %d -> %d", a.PendingKeys(), blocksBefore, c.Len())
+	}
+	if a.BlockCount(r1.ID) != 0 {
+		t.Fatalf("pending key counted in |B_i| = %d", a.BlockCount(r1.ID))
+	}
+
+	// Second carrier: the key materializes into a two-member block, and
+	// the first carrier's block count grows (reported via CountChanged).
+	r2 := a.Append([]KeyEntropy{{Key: "unique-xyz", Entropy: 2}})
+	comparisons += r2.ComparisonsDelta
+	if len(r2.Created) != 1 || r2.ComparisonsDelta != 1 {
+		t.Fatalf("second carrier created %v delta %d", r2.Created, r2.ComparisonsDelta)
+	}
+	if a.PendingKeys() != 0 {
+		t.Fatalf("pending keys left: %d", a.PendingKeys())
+	}
+	if len(r2.CountChanged) != 1 || r2.CountChanged[0] != r1.ID {
+		t.Fatalf("CountChanged = %v, want [%d]", r2.CountChanged, r1.ID)
+	}
+	nb := &c.Blocks[r2.Created[0]]
+	if nb.Entropy != 2 || len(nb.P1) != 2 {
+		t.Fatalf("materialized block %+v", nb)
+	}
+
+	// A profile joining several pending keys at once: CountChanged lists
+	// the earlier member once per materialized block.
+	r3 := a.Append([]KeyEntropy{{Key: "pair-a", Entropy: 1}, {Key: "pair-b", Entropy: 1}})
+	comparisons += r3.ComparisonsDelta
+	r4 := a.Append([]KeyEntropy{{Key: "pair-a", Entropy: 1}, {Key: "pair-b", Entropy: 1}})
+	comparisons += r4.ComparisonsDelta
+	if len(r4.Created) != 2 || len(r4.CountChanged) != 2 {
+		t.Fatalf("double materialization: created %v countChanged %v", r4.Created, r4.CountChanged)
+	}
+	if r4.CountChanged[0] != r3.ID || r4.CountChanged[1] != r3.ID {
+		t.Fatalf("CountChanged = %v, want [%d %d]", r4.CountChanged, r3.ID, r3.ID)
+	}
+	checkAppenderInvariants(t, a, comparisons)
+}
+
+func TestAppenderCleanClean(t *testing.T) {
+	rng := stats.NewRNG(5)
+	c := RandomCollection(rng, model.CleanClean, 20, 16)
+	a := NewAppender(c)
+	comparisons := c.AggregateCardinality()
+	existing := []string{c.Blocks[0].Key, c.Blocks[1].Key}
+	split := c.Split
+
+	for i := 0; i < 10; i++ {
+		res := a.Append(randomKeys(rng, existing))
+		comparisons += res.ComparisonsDelta
+		if int(res.ID) < split {
+			t.Fatalf("appended profile %d below split %d", res.ID, split)
+		}
+		// Appended profiles are E2-side: they must land in P2 only.
+		for _, bi := range res.Joined {
+			b := &c.Blocks[bi]
+			for _, p := range b.P1 {
+				if p == res.ID {
+					t.Fatalf("appended profile %d on E1 side of block %q", res.ID, b.Key)
+				}
+			}
+		}
+	}
+	// Fresh keys among E2-only arrivals can never entail a cross-source
+	// comparison, so they stay pending forever.
+	if c.Split != split {
+		t.Fatalf("split moved: %d -> %d", c.Split, split)
+	}
+	checkAppenderInvariants(t, a, comparisons)
+}
+
+func TestAppenderDeterminism(t *testing.T) {
+	build := func() *Collection {
+		rng := stats.NewRNG(11)
+		c := baseCollection(rng, 18, 14)
+		a := NewAppender(c)
+		for i := 0; i < 12; i++ {
+			a.Append(randomKeys(rng, []string{c.Blocks[0].Key, c.Blocks[2].Key}))
+		}
+		return c
+	}
+	c1, c2 := build(), build()
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatal("identical append sequences produced different collections")
+	}
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"slices"
+	"sort"
+	"strings"
+	"time"
+
+	"blast"
+	"blast/internal/datasets"
+	"blast/internal/model"
+)
+
+// IncrementalRow summarizes the incremental-insert path on one registry
+// dataset: an index is built over a prefix of the dataset, the held-out
+// tail is streamed through Index.Insert one profile at a time, and the
+// amortized per-insert cost is compared against a cold rebuild of the
+// index over the final collection (the exact operation Insert replaces).
+type IncrementalRow struct {
+	Dataset      string        `json:"dataset"`
+	BaseProfiles int           `json:"base_profiles"`
+	Streamed     int           `json:"streamed"`
+	Edges        int           `json:"edges"`
+	BuildTime    time.Duration `json:"build_ns"`
+
+	InsertP50   time.Duration `json:"insert_p50_ns"`
+	InsertP95   time.Duration `json:"insert_p95_ns"`
+	InsertP99   time.Duration `json:"insert_p99_ns"`
+	InsertMax   time.Duration `json:"insert_max_ns"`
+	InsertMean  time.Duration `json:"insert_mean_ns"`
+	TotalInsert time.Duration `json:"insert_total_ns"`
+
+	// RebuildTime is one cold IndexBlocks over the final collection; the
+	// amortized speedup is RebuildTime / InsertMean — how many times
+	// cheaper absorbing one arrival is than rebuilding for it.
+	RebuildTime      time.Duration `json:"rebuild_ns"`
+	AmortizedSpeedup float64       `json:"amortized_speedup"`
+
+	LocalizedBatches int  `json:"localized_batches"`
+	RebuiltBatches   int  `json:"rebuilt_batches"`
+	Compactions      int  `json:"compactions"`
+	PendingKeys      int  `json:"pending_keys"`
+	PairsMatch       bool `json:"pairs_match"`
+}
+
+// incrementalHoldout picks how many profiles of the streamed source to
+// hold out: a tenth, clamped to [16, 400].
+func incrementalHoldout(sourceLen int) int {
+	h := sourceLen / 10
+	if h < 16 {
+		h = 16
+	}
+	if h > 400 {
+		h = 400
+	}
+	if h >= sourceLen {
+		h = sourceLen / 2
+	}
+	return h
+}
+
+// Incremental measures the insert path for each named registry dataset
+// (default: all of them). For dirty datasets the tail of E1 is streamed;
+// for clean-clean datasets the tail of E2 (new entities arriving against
+// a fixed reference collection).
+func Incremental(cfg Config, names []string) ([]IncrementalRow, error) {
+	if len(names) == 0 {
+		names = datasets.AllNames()
+	}
+	ctx := context.Background()
+	var out []IncrementalRow
+	for _, name := range names {
+		full, err := cfg.load(name)
+		if err != nil {
+			return nil, err
+		}
+		var base *model.Dataset
+		var stream []model.Profile
+		if full.Kind == model.CleanClean {
+			h := incrementalHoldout(full.E2.Len())
+			cut := full.E2.Len() - h
+			base = &model.Dataset{
+				Name: full.Name, Kind: model.CleanClean,
+				E1:    full.E1,
+				E2:    &model.Collection{Name: full.E2.Name, Profiles: full.E2.Profiles[:cut]},
+				Truth: model.NewGroundTruth(),
+			}
+			stream = full.E2.Profiles[cut:]
+		} else {
+			h := incrementalHoldout(full.E1.Len())
+			cut := full.E1.Len() - h
+			base = &model.Dataset{
+				Name: full.Name, Kind: model.Dirty,
+				E1:    &model.Collection{Name: full.E1.Name, Profiles: full.E1.Profiles[:cut]},
+				Truth: model.NewGroundTruth(),
+			}
+			stream = full.E1.Profiles[cut:]
+		}
+
+		p, err := blast.NewPipeline(blast.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		ix, err := p.BuildIndex(ctx, base)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		build := time.Since(t0)
+
+		durs := make([]time.Duration, 0, len(stream))
+		var total time.Duration
+		for i := range stream {
+			q0 := time.Now()
+			if _, err := ix.Insert(ctx, &stream[i]); err != nil {
+				return nil, fmt.Errorf("%s: insert %d: %w", name, i, err)
+			}
+			d := time.Since(q0)
+			durs = append(durs, d)
+			total += d
+		}
+
+		r0 := time.Now()
+		cold, err := p.IndexBlocks(ctx, &blast.Blocks{Collection: ix.Blocks().Clone(), Schema: ix.Schema()})
+		if err != nil {
+			return nil, fmt.Errorf("%s: cold rebuild: %w", name, err)
+		}
+		rebuild := time.Since(r0)
+
+		st := ix.Stats()
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		row := IncrementalRow{
+			Dataset:          name,
+			BaseProfiles:     base.NumProfiles(),
+			Streamed:         len(stream),
+			Edges:            ix.NumEdges(),
+			BuildTime:        build,
+			InsertP50:        percentile(durs, 0.50),
+			InsertP95:        percentile(durs, 0.95),
+			InsertP99:        percentile(durs, 0.99),
+			TotalInsert:      total,
+			RebuildTime:      rebuild,
+			LocalizedBatches: st.LocalizedBatches,
+			RebuiltBatches:   st.RebuiltBatches,
+			Compactions:      st.Compactions,
+			PendingKeys:      st.PendingKeys,
+			PairsMatch:       slices.Equal(cold.Pairs(), ix.Pairs()),
+		}
+		if len(durs) > 0 {
+			row.InsertMax = durs[len(durs)-1]
+			row.InsertMean = total / time.Duration(len(durs))
+		}
+		if row.InsertMean > 0 {
+			row.AmortizedSpeedup = float64(rebuild) / float64(row.InsertMean)
+		}
+		if !row.PairsMatch {
+			// The experiment doubles as a real-dataset differential check;
+			// a divergence must fail the run (and CI), not just annotate
+			// a row.
+			return nil, fmt.Errorf("%s: incremental index diverged from the cold rebuild (%d vs %d pairs)",
+				name, ix.NumRetained(), cold.NumRetained())
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderIncremental formats the incremental-insert series.
+func RenderIncremental(rows []IncrementalRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "incremental Index.Insert vs cold rebuild (default options, per-profile stream)\n")
+	fmt.Fprintf(&b, "%-8s %9s %8s %10s %9s %9s %9s %10s %9s %8s %6s\n",
+		"dataset", "base", "streamed", "build", "p50", "p95", "p99", "rebuild", "amortized", "local", "match")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %9d %8d %10s %9s %9s %9s %10s %8.1fx %8d %6v\n",
+			r.Dataset, r.BaseProfiles, r.Streamed,
+			r.BuildTime.Round(time.Millisecond),
+			r.InsertP50, r.InsertP95, r.InsertP99,
+			r.RebuildTime.Round(time.Millisecond),
+			r.AmortizedSpeedup, r.LocalizedBatches, r.PairsMatch)
+	}
+	return b.String()
+}
+
+// IncrementalJSON renders the rows as indented JSON (the CI artifact
+// BENCH_incremental.json).
+func IncrementalJSON(rows []IncrementalRow) ([]byte, error) {
+	return json.MarshalIndent(rows, "", "  ")
+}

@@ -67,6 +67,22 @@ func (p Pruning) String() string {
 	}
 }
 
+// NodeLocal reports whether the scheme's retention decision for an edge
+// depends only on the edge's weight and its two endpoints' node-local
+// thresholds (theta_i), with no collection-size-derived budget: BlastWNP
+// and the two WNP variants. For these schemes an insertion re-evaluates
+// only the runs whose weights or thresholds actually changed; the global
+// and cardinality schemes (WEP, CEP, CNP — whose default budgets shift
+// with every profile) require a full re-evaluation instead.
+func (p Pruning) NodeLocal() bool {
+	switch p {
+	case WNP1, WNP2, BlastWNP:
+		return true
+	default:
+		return false
+	}
+}
+
 // Engine selects the blocking-graph execution strategy of Run.
 type Engine int
 

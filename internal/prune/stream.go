@@ -118,18 +118,45 @@ func nodeThresholdsCSR(ctx context.Context, g *graph.CSR, reduce func(ws []float
 	return th, nil
 }
 
+// MeanThresholdOf is WNP's per-node reducer over one adjacency run: the
+// mean adjacent weight, summed in run order so the value is bit-identical
+// whether computed by a full pass (MeanThresholds) or by an incremental
+// re-reduction of a single spliced run. Empty runs yield 0.
+func MeanThresholdOf(ws []float64) float64 {
+	if len(ws) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, w := range ws {
+		s += w
+	}
+	return s / float64(len(ws))
+}
+
+// BlastThresholdOf is BLAST's per-node reducer over one adjacency run:
+// theta_i = M_i/c (c <= 0 defaults to 2). Empty runs yield 0.
+func BlastThresholdOf(ws []float64, c float64) float64 {
+	if len(ws) == 0 {
+		return 0
+	}
+	if c <= 0 {
+		c = 2
+	}
+	m := ws[0]
+	for _, w := range ws[1:] {
+		if w > m {
+			m = w
+		}
+	}
+	return m / c
+}
+
 // MeanThresholds returns WNP's per-node thresholds over the CSR graph:
 // the mean adjacent weight of every node (0 for edgeless nodes). It is
 // the exact reducer WNPStream prunes with, exported so index consumers
 // expose the same values the retention decision used.
 func MeanThresholds(ctx context.Context, g *graph.CSR) ([]float64, error) {
-	return nodeThresholdsCSR(ctx, g, func(ws []float64) float64 {
-		s := 0.0
-		for _, w := range ws {
-			s += w
-		}
-		return s / float64(len(ws))
-	})
+	return nodeThresholdsCSR(ctx, g, MeanThresholdOf)
 }
 
 // BlastThresholds returns BLAST's per-node thresholds theta_i = M_i/c
@@ -137,17 +164,8 @@ func MeanThresholds(ctx context.Context, g *graph.CSR) ([]float64, error) {
 // the exact reducer BlastWNPStream prunes with, exported so index
 // consumers expose the same values the retention decision used.
 func BlastThresholds(ctx context.Context, g *graph.CSR, c float64) ([]float64, error) {
-	if c <= 0 {
-		c = 2
-	}
 	return nodeThresholdsCSR(ctx, g, func(ws []float64) float64 {
-		m := ws[0]
-		for _, w := range ws[1:] {
-			if w > m {
-				m = w
-			}
-		}
-		return m / c
+		return BlastThresholdOf(ws, c)
 	})
 }
 

@@ -13,9 +13,10 @@ package blast
 // one *Blocks can feed many MetaBlock calls with different weighting and
 // pruning settings (a C/D parameter sweep re-runs only Phase 3), and an
 // *Index freezes the weighted, pruned blocking graph into a per-profile
-// candidate-serving structure. Every phase honors context cancellation
-// at phase and worker-chunk granularity and reports completion to the
-// optional Options.Progress observer.
+// candidate-serving structure that additionally accepts incremental
+// profile insertions (Index.Insert) without a rebuild. Every phase
+// honors context cancellation at phase and worker-chunk granularity and
+// reports completion to the optional Options.Progress observer.
 
 import (
 	"context"
@@ -222,18 +223,26 @@ func (p *Pipeline) MetaBlock(ctx context.Context, blocks *Blocks) (*Result, erro
 	return res, nil
 }
 
+// metaConfigFromOptions maps validated options onto the meta-blocking
+// configuration. It is shared by the staged MetaBlock phase and by the
+// Index (both the cold freeze and the incremental global re-derivation),
+// so every path prunes under literally the same configuration.
+func metaConfigFromOptions(o Options) metablocking.Config {
+	return metablocking.Config{
+		Scheme:  o.Scheme,
+		Pruning: o.Pruning,
+		Engine:  o.Engine,
+		C:       o.C,
+		D:       o.D,
+		K:       o.K,
+		Workers: o.Workers,
+	}
+}
+
 // metaConfig maps the pipeline options onto the meta-blocking
 // configuration, wiring the Progress observer into the stage hook.
 func (p *Pipeline) metaConfig() metablocking.Config {
-	cfg := metablocking.Config{
-		Scheme:  p.opt.Scheme,
-		Pruning: p.opt.Pruning,
-		Engine:  p.opt.Engine,
-		C:       p.opt.C,
-		D:       p.opt.D,
-		K:       p.opt.K,
-		Workers: p.opt.Workers,
-	}
+	cfg := metaConfigFromOptions(p.opt)
 	if p.opt.Progress != nil {
 		cfg.OnStage = func(stage string, d time.Duration) { p.opt.progress(stage, d) }
 	}

@@ -238,9 +238,12 @@ func TestIndexCandidatesConsistent(t *testing.T) {
 				t.Fatalf("%s: pair %v missing from candidate lists", ds.Name, model.PairFromKey(k))
 			}
 		}
-		// Out-of-range queries are empty, not panics.
-		if ix.Candidates(-1) != nil || ix.Candidates(ix.NumProfiles()) != nil {
-			t.Error("out-of-range profile should serve no candidates")
+		// Out-of-range queries are empty (non-nil) slices, not panics.
+		if got := ix.Candidates(-1); got == nil || len(got) != 0 {
+			t.Errorf("Candidates(-1) = %v, want empty non-nil slice", got)
+		}
+		if got := ix.Candidates(ix.NumProfiles()); got == nil || len(got) != 0 {
+			t.Errorf("Candidates(NumProfiles) = %v, want empty non-nil slice", got)
 		}
 	}
 }
