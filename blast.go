@@ -113,6 +113,58 @@ func (c Compaction) minEntries() int {
 // disabled reports whether automatic compaction is switched off.
 func (c Compaction) disabled() bool { return c.MaxOverlayFraction < 0 }
 
+// ServerOptions configures a sharded snapshot-swap Server (see
+// Pipeline.Serve). The zero value is valid: one shard, default swap
+// cadence.
+type ServerOptions struct {
+	// Shards is the number of shard workers. Each shard owns a writable
+	// Index replica on its write path and serves reads for the profiles
+	// hash-sharded to it from an immutable published snapshot; 0 selects
+	// 1. Replication multiplies write work and memory by the shard
+	// count in exchange for read-side parallelism, which is the
+	// intended trade for read-heavy candidate serving.
+	Shards int
+	// SwapOps publishes a fresh read snapshot after this many streamed
+	// profiles have been applied on a shard since its last publication.
+	// 0 selects 256; negative disables the op-count trigger, leaving
+	// swaps to the overlay trigger (Options.Compaction) and Quiesce.
+	SwapOps int
+}
+
+// maxServerShards bounds the shard count: each shard is a full index
+// replica, so triple-digit counts are a configuration error long before
+// they are a scaling strategy.
+const maxServerShards = 256
+
+// Validate checks the server options, mirroring Options.Validate.
+func (so ServerOptions) Validate() error {
+	if so.Shards < 0 || so.Shards > maxServerShards {
+		return fmt.Errorf("blast: Shards = %d outside [0, %d] (0 selects 1; each shard is a full replica)", so.Shards, maxServerShards)
+	}
+	return nil
+}
+
+// shards resolves the shard count (0 -> 1).
+func (so ServerOptions) shards() int {
+	if so.Shards == 0 {
+		return 1
+	}
+	return so.Shards
+}
+
+// swapOps resolves the op-count swap trigger (0 -> 256, negative ->
+// disabled).
+func (so ServerOptions) swapOps() int {
+	switch {
+	case so.SwapOps == 0:
+		return 256
+	case so.SwapOps < 0:
+		return 0
+	default:
+		return so.SwapOps
+	}
+}
+
 // LSHOptions configures the optional MinHash/banding acceleration of
 // attribute-match induction (Section 3.1.2). Rows*Bands hash functions
 // are used; the implied Jaccard threshold is (1/Bands)^(1/Rows).

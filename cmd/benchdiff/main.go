@@ -1,0 +1,244 @@
+// Command benchdiff is the CI benchmark-regression gate: it compares
+// the benchmark artifacts of the current run (BENCH_query.json,
+// BENCH_incremental.json, BENCH_serve.json) against committed baselines
+// and fails when a gated metric regresses beyond the threshold.
+//
+// Gated metrics:
+//
+//   - query: per-dataset Candidates p50 latency must not grow more than
+//     threshold (default 25%) over the baseline.
+//   - incremental: per-dataset amortized insert speedup over a cold
+//     rebuild must not shrink more than threshold.
+//   - serve: per-configuration read throughput must not shrink more
+//     than threshold, and the read-throughput scaling of the largest
+//     shard count over one shard must reach -min-serve-scaling
+//     (default 2.0). The scaling floor is only enforced when the host
+//     recorded in the artifact has at least -min-scaling-procs CPUs
+//     (default 4): scaling is bounded by available parallelism, so
+//     enforcing 2x on a 1-core runner would gate on the hardware, not
+//     the code.
+//
+// A missing baseline file skips its checks with a note (so a newly
+// introduced artifact does not fail the gate before its baseline is
+// committed); a missing current file fails. Baselines live in
+// bench/baselines/ and should be regenerated on the same runner class
+// that executes CI whenever a deliberate performance change lands:
+//
+//	go run ./cmd/blastbench -exp query -scale 0.5 -json > bench/baselines/BENCH_query.json
+//	go run ./cmd/blastbench -exp incremental -scale 0.5 -json > bench/baselines/BENCH_incremental.json
+//	go run ./cmd/blastbench -exp serve -scale 0.5 -json > bench/baselines/BENCH_serve.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"blast/internal/experiments"
+)
+
+func main() {
+	baseDir := flag.String("baseline", "bench/baselines", "directory of committed baseline artifacts")
+	curDir := flag.String("current", ".", "directory of freshly generated artifacts")
+	threshold := flag.Float64("threshold", 0.25, "allowed relative regression per metric")
+	minScaling := flag.Float64("min-serve-scaling", 2.0, "required read-throughput scaling, largest shard count vs 1")
+	minProcs := flag.Int("min-scaling-procs", 4, "minimum GOMAXPROCS recorded in the artifact for the scaling floor to be enforced")
+	flag.Parse()
+
+	failures, err := run(os.Stdout, *baseDir, *curDir, *threshold, *minScaling, *minProcs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed beyond the gate\n", failures)
+		os.Exit(1)
+	}
+}
+
+// loadJSON decodes one artifact into rows; (nil, nil) when the file
+// does not exist.
+func loadJSON[T any](dir, name string) ([]T, error) {
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var rows []T
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return rows, nil
+}
+
+// check is one gated comparison, rendered as a report line.
+type check struct {
+	metric   string
+	baseline float64
+	current  float64
+	ok       bool
+	note     string
+}
+
+func run(w io.Writer, baseDir, curDir string, threshold, minScaling float64, minProcs int) (failures int, err error) {
+	var checks []check
+	add := func(c check) {
+		checks = append(checks, c)
+		if !c.ok {
+			failures++
+		}
+	}
+
+	// query: p50 must not grow beyond (1+threshold)x.
+	baseQ, err := loadJSON[experiments.QueryRow](baseDir, "BENCH_query.json")
+	if err != nil {
+		return 0, err
+	}
+	if baseQ == nil {
+		fmt.Fprintln(w, "query: no baseline, skipped")
+	} else {
+		curQ, err := loadJSON[experiments.QueryRow](curDir, "BENCH_query.json")
+		if err != nil {
+			return 0, err
+		}
+		if curQ == nil {
+			return 0, fmt.Errorf("missing current BENCH_query.json (baseline exists)")
+		}
+		cur := make(map[string]experiments.QueryRow, len(curQ))
+		for _, r := range curQ {
+			cur[r.Dataset] = r
+		}
+		for _, b := range baseQ {
+			c, found := cur[b.Dataset]
+			if !found {
+				add(check{metric: "query/" + b.Dataset + " p50", baseline: float64(b.P50), ok: false, note: "dataset missing from current run"})
+				continue
+			}
+			limit := float64(b.P50) * (1 + threshold)
+			add(check{
+				metric:   "query/" + b.Dataset + " p50 ns",
+				baseline: float64(b.P50),
+				current:  float64(c.P50),
+				ok:       float64(c.P50) <= limit,
+			})
+		}
+	}
+
+	// incremental: amortized speedup must not shrink beyond (1-threshold)x.
+	baseI, err := loadJSON[experiments.IncrementalRow](baseDir, "BENCH_incremental.json")
+	if err != nil {
+		return 0, err
+	}
+	if baseI == nil {
+		fmt.Fprintln(w, "incremental: no baseline, skipped")
+	} else {
+		curI, err := loadJSON[experiments.IncrementalRow](curDir, "BENCH_incremental.json")
+		if err != nil {
+			return 0, err
+		}
+		if curI == nil {
+			return 0, fmt.Errorf("missing current BENCH_incremental.json (baseline exists)")
+		}
+		cur := make(map[string]experiments.IncrementalRow, len(curI))
+		for _, r := range curI {
+			cur[r.Dataset] = r
+		}
+		for _, b := range baseI {
+			c, found := cur[b.Dataset]
+			if !found {
+				add(check{metric: "incremental/" + b.Dataset + " speedup", baseline: b.AmortizedSpeedup, ok: false, note: "dataset missing from current run"})
+				continue
+			}
+			floor := b.AmortizedSpeedup * (1 - threshold)
+			add(check{
+				metric:   "incremental/" + b.Dataset + " speedup",
+				baseline: b.AmortizedSpeedup,
+				current:  c.AmortizedSpeedup,
+				ok:       c.AmortizedSpeedup >= floor,
+			})
+		}
+	}
+
+	// serve: per-configuration read throughput vs baseline, plus the
+	// scaling floor over the current run alone.
+	baseS, err := loadJSON[experiments.ServeRow](baseDir, "BENCH_serve.json")
+	if err != nil {
+		return 0, err
+	}
+	curS, err := loadJSON[experiments.ServeRow](curDir, "BENCH_serve.json")
+	if err != nil {
+		return 0, err
+	}
+	if baseS == nil {
+		fmt.Fprintln(w, "serve: no baseline, throughput comparison skipped")
+	} else {
+		if curS == nil {
+			return 0, fmt.Errorf("missing current BENCH_serve.json (baseline exists)")
+		}
+		key := func(r experiments.ServeRow) string {
+			return fmt.Sprintf("%s/%s/shards=%d", r.Dataset, r.Mode, r.Shards)
+		}
+		cur := make(map[string]experiments.ServeRow, len(curS))
+		for _, r := range curS {
+			cur[key(r)] = r
+		}
+		for _, b := range baseS {
+			c, found := cur[key(b)]
+			if !found {
+				add(check{metric: "serve/" + key(b) + " reads/s", baseline: b.ReadThroughput, ok: false, note: "configuration missing from current run"})
+				continue
+			}
+			floor := b.ReadThroughput * (1 - threshold)
+			add(check{
+				metric:   "serve/" + key(b) + " reads/s",
+				baseline: b.ReadThroughput,
+				current:  c.ReadThroughput,
+				ok:       c.ReadThroughput >= floor,
+			})
+		}
+	}
+	if curS != nil {
+		// The scaling floor judges only the current run: find the
+		// largest-shard-count server row.
+		var top *experiments.ServeRow
+		for i := range curS {
+			r := &curS[i]
+			if r.Mode == "server" && (top == nil || r.Shards > top.Shards) {
+				top = r
+			}
+		}
+		switch {
+		case top == nil || top.Shards <= 1:
+			fmt.Fprintln(w, "serve: no multi-shard row, scaling floor skipped")
+		case top.GOMAXPROCS < minProcs:
+			fmt.Fprintf(w, "serve: scaling floor skipped (GOMAXPROCS %d < %d; scaling is parallelism-bound)\n", top.GOMAXPROCS, minProcs)
+		default:
+			add(check{
+				metric:   fmt.Sprintf("serve/%s scaling %d vs 1 shard", top.Dataset, top.Shards),
+				baseline: minScaling,
+				current:  top.ScalingVs1,
+				ok:       top.ScalingVs1 >= minScaling,
+				note:     "floor, not baseline",
+			})
+		}
+	}
+
+	for _, c := range checks {
+		status := "ok"
+		if !c.ok {
+			status = "REGRESSED"
+		}
+		delta := ""
+		if c.baseline > 0 && c.current > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (c.current/c.baseline-1)*100)
+		}
+		fmt.Fprintf(w, "%-45s base %14.1f  cur %14.1f  %7s  %s %s\n",
+			c.metric, c.baseline, c.current, delta, status, c.note)
+	}
+	return failures, nil
+}

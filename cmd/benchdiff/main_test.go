@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"blast/internal/experiments"
+)
+
+// writeJSON marshals rows into dir/name.
+func writeJSON(t *testing.T, dir, name string, rows any) {
+	t.Helper()
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func queryRow(ds string, p50 time.Duration) experiments.QueryRow {
+	return experiments.QueryRow{Dataset: ds, P50: p50}
+}
+
+func incRow(ds string, speedup float64) experiments.IncrementalRow {
+	return experiments.IncrementalRow{Dataset: ds, AmortizedSpeedup: speedup}
+}
+
+func serveRow(ds, mode string, shards, procs int, reads, scaling float64) experiments.ServeRow {
+	return experiments.ServeRow{Dataset: ds, Mode: mode, Shards: shards, GOMAXPROCS: procs,
+		ReadThroughput: reads, ScalingVs1: scaling, PairsMatch: true}
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	base, cur := t.TempDir(), t.TempDir()
+	writeJSON(t, base, "BENCH_query.json", []experiments.QueryRow{queryRow("ar1", 100)})
+	writeJSON(t, cur, "BENCH_query.json", []experiments.QueryRow{queryRow("ar1", 120)}) // +20% < 25%
+	writeJSON(t, base, "BENCH_incremental.json", []experiments.IncrementalRow{incRow("ar1", 30)})
+	writeJSON(t, cur, "BENCH_incremental.json", []experiments.IncrementalRow{incRow("ar1", 25)}) // -17% > -25%
+	writeJSON(t, base, "BENCH_serve.json", []experiments.ServeRow{
+		serveRow("dbp", "server", 1, 8, 1e6, 1),
+		serveRow("dbp", "server", 4, 8, 2.6e6, 2.6),
+	})
+	writeJSON(t, cur, "BENCH_serve.json", []experiments.ServeRow{
+		serveRow("dbp", "server", 1, 8, 1e6, 1),
+		serveRow("dbp", "server", 4, 8, 2.5e6, 2.5),
+	})
+	var out strings.Builder
+	failures, err := run(&out, base, cur, 0.25, 2.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("failures = %d, output:\n%s", failures, out.String())
+	}
+}
+
+func TestGateCatchesRegressions(t *testing.T) {
+	base, cur := t.TempDir(), t.TempDir()
+	writeJSON(t, base, "BENCH_query.json", []experiments.QueryRow{queryRow("ar1", 100), queryRow("dbp", 200)})
+	writeJSON(t, cur, "BENCH_query.json", []experiments.QueryRow{queryRow("ar1", 200), queryRow("dbp", 200)}) // ar1 +100%
+	writeJSON(t, base, "BENCH_incremental.json", []experiments.IncrementalRow{incRow("ar1", 30)})
+	writeJSON(t, cur, "BENCH_incremental.json", []experiments.IncrementalRow{incRow("ar1", 10)}) // -67%
+	writeJSON(t, base, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 4, 8, 2e6, 2.5)})
+	writeJSON(t, cur, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 4, 8, 1e6, 1.2)}) // -50% and scaling < 2
+	var out strings.Builder
+	failures, err := run(&out, base, cur, 0.25, 2.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 4 {
+		t.Fatalf("failures = %d, want 4 (query p50, incremental speedup, serve throughput, serve scaling)\n%s", failures, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Error("report lacks REGRESSED markers")
+	}
+}
+
+func TestGateScalingFloorSkippedOnSmallHosts(t *testing.T) {
+	base, cur := t.TempDir(), t.TempDir()
+	// Scaling 0.8 on a 1-core host: parallelism-bound, must be skipped.
+	writeJSON(t, base, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 4, 1, 1e6, 0.8)})
+	writeJSON(t, cur, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 4, 1, 1e6, 0.8)})
+	var out strings.Builder
+	failures, err := run(&out, base, cur, 0.25, 2.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("failures = %d on a parallelism-bound host\n%s", failures, out.String())
+	}
+	if !strings.Contains(out.String(), "scaling floor skipped") {
+		t.Errorf("missing skip note:\n%s", out.String())
+	}
+}
+
+func TestGateMissingFiles(t *testing.T) {
+	base, cur := t.TempDir(), t.TempDir()
+	// No baselines at all: everything skips, gate passes.
+	var out strings.Builder
+	failures, err := run(&out, base, cur, 0.25, 2.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("failures = %d with no baselines", failures)
+	}
+	for _, want := range []string{"query: no baseline", "incremental: no baseline", "serve: no baseline"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q in:\n%s", want, out.String())
+		}
+	}
+	// Baseline present but current missing: hard error.
+	writeJSON(t, base, "BENCH_query.json", []experiments.QueryRow{queryRow("ar1", 100)})
+	if _, err := run(&out, base, cur, 0.25, 2.0, 4); err == nil {
+		t.Error("missing current artifact must error")
+	}
+	// Dataset present in baseline but dropped from current: regression.
+	writeJSON(t, cur, "BENCH_query.json", []experiments.QueryRow{queryRow("other", 100)})
+	out.Reset()
+	failures, err = run(&out, base, cur, 0.25, 2.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1 for dropped dataset\n%s", failures, out.String())
+	}
+}
+
+func TestGateMalformedJSON(t *testing.T) {
+	base, cur := t.TempDir(), t.TempDir()
+	if err := os.WriteFile(filepath.Join(base, "BENCH_query.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if _, err := run(&out, base, cur, 0.25, 2.0, 4); err == nil {
+		t.Error("malformed baseline must error")
+	}
+}

@@ -7,7 +7,7 @@
 //	blastbench -exp all
 //
 // Experiments: table2 table3 table4 table5 table6 table7 fig5 fig8 fig9
-// fig10 endtoend scalability engines query incremental baselines
+// fig10 endtoend scalability engines query incremental serve baselines
 // standard all. -scale multiplies the per-dataset default sizes (see
 // internal/experiments); absolute metrics depend on it, comparative
 // structure does not. The engines experiment compares the edge-list and
@@ -16,8 +16,10 @@
 // Index.Candidates latency and throughput on the registry datasets; the
 // incremental experiment streams each dataset's tail through
 // Index.Insert and reports per-insert latency and the amortized speedup
-// over a cold rebuild. For all three, -json renders machine-readable
-// JSON (the CI benchmark artifacts).
+// over a cold rebuild; the serve experiment drives a mixed read/write
+// load against the sharded snapshot-swap Server across shard counts and
+// against the single-Index baseline. For all four, -json renders
+// machine-readable JSON (the CI benchmark artifacts).
 package main
 
 import (
@@ -30,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table2..table7, fig5, fig8, fig9, fig10, endtoend, scalability, engines, query, incremental, baselines, all")
+	exp := flag.String("exp", "all", "experiment id: table2..table7, fig5, fig8, fig9, fig10, endtoend, scalability, engines, query, incremental, serve, baselines, all")
 	dataset := flag.String("dataset", "", "dataset for table4/table7/endtoend/engines/query/incremental (default: every applicable)")
 	scale := flag.Float64("scale", 1, "scale multiplier over per-dataset defaults")
 	seed := flag.Uint64("seed", 42, "random seed")
@@ -204,6 +206,24 @@ func run(cfg experiments.Config, exp, dataset string, jsonOut bool) error {
 		}
 		fmt.Println("== Incremental: Index.Insert streaming vs cold rebuild ==")
 		fmt.Print(experiments.RenderIncremental(rows))
+	case "serve":
+		// dataset defaults to dbp (the largest registry dataset) inside
+		// Serve; shard counts 1/2/4 give the scaling series the CI
+		// regression gate checks.
+		rows, err := experiments.Serve(cfg, dataset, nil, 0)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			js, err := experiments.ServeJSON(rows)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(js))
+			return nil
+		}
+		fmt.Println("== Serve: sharded snapshot-swap Server vs single Index ==")
+		fmt.Print(experiments.RenderServe(rows))
 	case "baselines":
 		name := dataset
 		if name == "" {
@@ -224,7 +244,7 @@ func run(cfg experiments.Config, exp, dataset string, jsonOut bool) error {
 		fmt.Print(experiments.RenderStandard(rows))
 	case "all":
 		for _, e := range []string{"table2", "table3", "table4", "table5", "table6", "table7",
-			"fig5", "fig8", "fig9", "fig10", "endtoend", "scalability", "engines", "query", "incremental", "baselines", "standard"} {
+			"fig5", "fig8", "fig9", "fig10", "endtoend", "scalability", "engines", "query", "incremental", "serve", "baselines", "standard"} {
 			// Always the text rendering: interleaving one JSON array into
 			// the combined report would serve neither reader.
 			if err := run(cfg, e, dataset, false); err != nil {

@@ -56,6 +56,15 @@ func TestRunIncrementalExperiment(t *testing.T) {
 	}
 }
 
+func TestRunServeExperiment(t *testing.T) {
+	if err := run(tinyCfg(), "serve", "ar1", false); err != nil {
+		t.Errorf("serve text: %v", err)
+	}
+	if err := run(tinyCfg(), "serve", "census", true); err != nil {
+		t.Errorf("serve json: %v", err)
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run(tinyCfg(), "table99", "", false); err == nil {
 		t.Error("unknown experiment should error")

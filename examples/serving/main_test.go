@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestRunSmoke compiles and runs the example end to end (hand-written
+// catalog, fast by construction).
+func TestRunSmoke(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -40,18 +40,16 @@ import (
 	"blast/internal/metablocking"
 	"blast/internal/model"
 	"blast/internal/prune"
+	"blast/internal/shard"
 )
 
 var errSupervisedIndex = errors.New("blast: supervised meta-blocking has no candidate-serving index form")
 
-// Candidate is one candidate comparison served by Index.Candidates: a
-// co-candidate profile and the BLAST edge weight that retained it.
-type Candidate struct {
-	// ID is the global profile id of the co-candidate.
-	ID int32
-	// Weight is the edge weight under the index's weighting scheme.
-	Weight float64
-}
+// Candidate is one candidate comparison served by Index.Candidates (and
+// by Server.Candidates): a co-candidate profile id and the BLAST edge
+// weight that retained it. It aliases the internal serving type so index
+// and snapshot lookups share one representation.
+type Candidate = shard.Candidate
 
 // IndexStats summarizes the incremental-update state of an Index.
 type IndexStats struct {
@@ -137,6 +135,14 @@ func (p *Pipeline) BuildIndex(ctx context.Context, ds *model.Dataset) (*Index, e
 // its serving footprint); the first Insert re-derives them with one
 // graph pass over the retained collection.
 func (p *Pipeline) IndexBlocks(ctx context.Context, blocks *Blocks) (*Index, error) {
+	return p.indexBlocks(ctx, blocks, false)
+}
+
+// indexBlocks is IndexBlocks with control over the co-occurrence
+// statistics: keepStats retains them on the frozen CSR so that serving
+// replicas (which will certainly mutate) skip the one-off graph rebuild
+// their first Insert would otherwise pay.
+func (p *Pipeline) indexBlocks(ctx context.Context, blocks *Blocks, keepStats bool) (*Index, error) {
 	if p.opt.Supervised {
 		return nil, errSupervisedIndex
 	}
@@ -150,7 +156,9 @@ func (p *Pipeline) IndexBlocks(ctx context.Context, blocks *Blocks) (*Index, err
 		return nil, err
 	}
 	p.opt.Scheme.ApplyCSR(csr)
-	csr.ReleaseStats()
+	if !keepStats {
+		csr.ReleaseStats()
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -347,21 +355,9 @@ func (ix *Index) AppendCandidates(buf []Candidate, profile int) []Candidate {
 			}
 		}
 	}
-	out := buf[start:]
-	slices.SortFunc(out, func(a, b Candidate) int {
-		switch {
-		case a.Weight > b.Weight:
-			return -1
-		case a.Weight < b.Weight:
-			return 1
-		case a.ID < b.ID:
-			return -1
-		case a.ID > b.ID:
-			return 1
-		default:
-			return 0
-		}
-	})
+	// shard.CompareCandidates is the one canonical serving order; using
+	// it here keeps Index and Snapshot lookups byte-identical.
+	slices.SortFunc(buf[start:], shard.CompareCandidates)
 	return buf
 }
 
@@ -914,6 +910,71 @@ func (ix *Index) rebuildDecisionsLocked() {
 	ix.pairsValid = true
 	ix.retainedEntries = 2 * int64(len(pairs))
 	ix.ov = graph.NewOverlay(csr, retained)
+}
+
+// cloneForServing returns an independent writable replica of a freshly
+// built (never-inserted) index, for the sharded server's
+// one-replica-per-shard layout. The replica shares everything that is
+// immutable from here on — the block collection (cloned lazily by the
+// replica's own first Insert), the schema, and the CSR's structural and
+// co-occurrence arrays, which no code path ever mutates in place — and
+// copies the arrays the insert path writes through the overlay: edge
+// weights, retention marks and thresholds. Cost is O(E), far below a
+// rebuild.
+func (ix *Index) cloneForServing() *Index {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.ov != nil {
+		panic("blast: cloneForServing on an index that has absorbed inserts")
+	}
+	csr := *ix.csr
+	csr.Weights = slices.Clone(ix.csr.Weights)
+	return &Index{
+		kind:            ix.kind,
+		collection:      ix.collection,
+		schema:          ix.schema,
+		opt:             ix.opt,
+		csr:             &csr,
+		retained:        slices.Clone(ix.retained),
+		theta:           slices.Clone(ix.theta),
+		pairs:           ix.pairs, // replaced, never mutated in place
+		pairsValid:      ix.pairsValid,
+		retainedEntries: ix.retainedEntries,
+		buildTime:       ix.buildTime,
+	}
+}
+
+// exportSnapshot compacts any pending overlay state and publishes an
+// immutable serving view of the index — the snapshot a shard swaps in.
+// The structural arrays (Offsets, Neighbors) are shared with the now
+// flat base CSR: later inserts only ever write base arrays through the
+// overlay's write-through on Weights and the retention mask, both of
+// which are copied here, and every compaction installs fresh arrays
+// rather than mutating the old ones. On cancellation the index is left
+// unchanged (a completed fold is kept; it is observationally neutral).
+func (ix *Index) exportSnapshot(ctx context.Context) (*shard.Snapshot, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	// Edge-less inserted profiles leave the overlay empty while still
+	// growing the profile count, so staleness is judged on both.
+	if ix.ov != nil && (ix.ov.OverlayEntries() > 0 || ix.ov.NumProfiles() != ix.csr.NumProfiles) {
+		if err := ix.compactLocked(ctx); err != nil {
+			return nil, err
+		}
+	}
+	return &shard.Snapshot{
+		NumProfiles:   ix.csr.NumProfiles,
+		NumEdges:      ix.csr.NumEdges(),
+		RetainedPairs: int(ix.retainedEntries / 2),
+		Offsets:       ix.csr.Offsets,
+		Neighbors:     ix.csr.Neighbors,
+		Weights:       slices.Clone(ix.csr.Weights),
+		Retained:      slices.Clone(ix.retained),
+		Theta:         slices.Clone(ix.theta),
+	}, nil
 }
 
 // compactLocked folds the overlay into a fresh flat base, preserving

@@ -86,10 +86,13 @@ func ExtractProfiles(ds *model.Dataset, tr text.Transform) []Profile {
 			freqs[i] = a.freq[t]
 		}
 		out = append(out, Profile{
-			Ref:     ref,
-			Tokens:  toks,
-			Freqs:   freqs,
-			Entropy: stats.EntropyFromCounts(a.freq),
+			Ref:    ref,
+			Tokens: toks,
+			Freqs:  freqs,
+			// Entropy over the token-hash-ordered freqs, not the map:
+			// the summation order must be a function of the data alone
+			// for two runs over equal collections to agree bitwise.
+			Entropy: stats.Entropy(freqs),
 			Count:   count,
 		})
 	}

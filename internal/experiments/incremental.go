@@ -62,10 +62,35 @@ func incrementalHoldout(sourceLen int) int {
 	return h
 }
 
+// splitStream cuts a holdout tail off a dataset for streaming-insert
+// experiments: for dirty datasets the tail of E1, for clean-clean the
+// tail of E2 (new entities arriving against a fixed reference
+// collection). Returns the truncated base dataset and the held-out
+// profiles in arrival order.
+func splitStream(full *model.Dataset) (*model.Dataset, []model.Profile) {
+	if full.Kind == model.CleanClean {
+		h := incrementalHoldout(full.E2.Len())
+		cut := full.E2.Len() - h
+		base := &model.Dataset{
+			Name: full.Name, Kind: model.CleanClean,
+			E1:    full.E1,
+			E2:    &model.Collection{Name: full.E2.Name, Profiles: full.E2.Profiles[:cut]},
+			Truth: model.NewGroundTruth(),
+		}
+		return base, full.E2.Profiles[cut:]
+	}
+	h := incrementalHoldout(full.E1.Len())
+	cut := full.E1.Len() - h
+	base := &model.Dataset{
+		Name: full.Name, Kind: model.Dirty,
+		E1:    &model.Collection{Name: full.E1.Name, Profiles: full.E1.Profiles[:cut]},
+		Truth: model.NewGroundTruth(),
+	}
+	return base, full.E1.Profiles[cut:]
+}
+
 // Incremental measures the insert path for each named registry dataset
-// (default: all of them). For dirty datasets the tail of E1 is streamed;
-// for clean-clean datasets the tail of E2 (new entities arriving against
-// a fixed reference collection).
+// (default: all of them); see splitStream for how the stream is cut.
 func Incremental(cfg Config, names []string) ([]IncrementalRow, error) {
 	if len(names) == 0 {
 		names = datasets.AllNames()
@@ -77,28 +102,7 @@ func Incremental(cfg Config, names []string) ([]IncrementalRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		var base *model.Dataset
-		var stream []model.Profile
-		if full.Kind == model.CleanClean {
-			h := incrementalHoldout(full.E2.Len())
-			cut := full.E2.Len() - h
-			base = &model.Dataset{
-				Name: full.Name, Kind: model.CleanClean,
-				E1:    full.E1,
-				E2:    &model.Collection{Name: full.E2.Name, Profiles: full.E2.Profiles[:cut]},
-				Truth: model.NewGroundTruth(),
-			}
-			stream = full.E2.Profiles[cut:]
-		} else {
-			h := incrementalHoldout(full.E1.Len())
-			cut := full.E1.Len() - h
-			base = &model.Dataset{
-				Name: full.Name, Kind: model.Dirty,
-				E1:    &model.Collection{Name: full.E1.Name, Profiles: full.E1.Profiles[:cut]},
-				Truth: model.NewGroundTruth(),
-			}
-			stream = full.E1.Profiles[cut:]
-		}
+		base, stream := splitStream(full)
 
 		p, err := blast.NewPipeline(blast.DefaultOptions())
 		if err != nil {

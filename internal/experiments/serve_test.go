@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeShapesAndRender(t *testing.T) {
+	rows, err := Serve(tiny(), "ar1", []int{1, 2}, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One baseline row plus one per shard count.
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[0].Mode != "index" || rows[0].Readers != 2 {
+		t.Errorf("baseline row = %+v", rows[0])
+	}
+	var sawOne, sawTwo bool
+	for _, r := range rows[1:] {
+		if r.Mode != "server" {
+			t.Errorf("server row mode = %q", r.Mode)
+		}
+		if !r.PairsMatch {
+			t.Errorf("shards=%d diverged", r.Shards)
+		}
+		if r.ReadThroughput <= 0 {
+			t.Errorf("shards=%d read throughput %v", r.Shards, r.ReadThroughput)
+		}
+		if r.GOMAXPROCS < 1 || r.Streamed == 0 || r.BaseProfiles == 0 {
+			t.Errorf("row shape: %+v", r)
+		}
+		switch r.Shards {
+		case 1:
+			sawOne = true
+			if r.ScalingVs1 != 1 {
+				t.Errorf("1-shard scaling = %v", r.ScalingVs1)
+			}
+		case 2:
+			sawTwo = true
+			if r.ScalingVs1 <= 0 {
+				t.Errorf("2-shard scaling = %v", r.ScalingVs1)
+			}
+		}
+	}
+	if !sawOne || !sawTwo {
+		t.Error("missing shard-count rows")
+	}
+	out := RenderServe(rows)
+	for _, want := range []string{"ar1", "server", "index", "reads/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	js, err := ServeJSON(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []ServeRow
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatalf("artifact does not round-trip: %v", err)
+	}
+	if len(back) != len(rows) || back[1].ReadThroughput != rows[1].ReadThroughput {
+		t.Error("artifact round-trip mismatch")
+	}
+}
+
+func TestServeUnknownDataset(t *testing.T) {
+	if _, err := Serve(tiny(), "nope", []int{1}, time.Millisecond); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}

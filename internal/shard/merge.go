@@ -1,0 +1,55 @@
+package shard
+
+import "blast/internal/model"
+
+// pairLess orders pairs canonically: ascending u, then ascending v —
+// the order every batch pruning scheme emits and AppendOwnedPairs
+// preserves per shard.
+func pairLess(a, b model.IDPair) bool {
+	return a.U < b.U || (a.U == b.U && a.V < b.V)
+}
+
+// MergePairs merges per-shard canonically ordered pair lists into one
+// canonically ordered list, dropping duplicates. With owner-disjoint
+// streams (AppendOwnedPairs partitions by the owner of u) duplicates
+// cannot occur and the merge is a pure interleave; the dedup guards the
+// invariant anyway, so a misconfigured fan-out degrades to a correct
+// answer instead of double-reporting comparisons. The shard count is
+// small, so the minimum is picked by linear scan rather than a heap.
+func MergePairs(parts [][]model.IDPair) []model.IDPair {
+	live := parts[:0:0]
+	total := 0
+	for _, p := range parts {
+		if len(p) > 0 {
+			live = append(live, p)
+			total += len(p)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	if len(live) == 1 {
+		return append([]model.IDPair(nil), live[0]...)
+	}
+	out := make([]model.IDPair, 0, total)
+	cursors := make([]int, len(live))
+	for {
+		best := -1
+		for i, c := range cursors {
+			if c >= len(live[i]) {
+				continue
+			}
+			if best < 0 || pairLess(live[i][c], live[best][cursors[best]]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		p := live[best][cursors[best]]
+		cursors[best]++
+		if n := len(out); n == 0 || out[n-1] != p {
+			out = append(out, p)
+		}
+	}
+}

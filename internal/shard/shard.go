@@ -1,0 +1,331 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blast/internal/model"
+)
+
+// Writer is the mutable side of a shard: a writable index that absorbs
+// insert batches and can export an immutable serving snapshot of its
+// current state (compacting its overlay in the process). Only the
+// shard's worker goroutine ever calls these methods, so implementations
+// need no locking beyond their own invariants.
+type Writer interface {
+	// InsertAll appends a batch of profiles and folds them into the
+	// writable index.
+	InsertAll(ctx context.Context, profiles []model.Profile) ([]int, error)
+	// Export compacts pending overlay state and returns an immutable
+	// snapshot of the index. The returned snapshot's Epoch is assigned
+	// by the shard.
+	Export(ctx context.Context) (*Snapshot, error)
+	// OverlayStats reports the entries currently held in the writable
+	// index's copy-on-write overlay and their load relative to the flat
+	// base — the inputs of the overlay-size swap trigger.
+	OverlayStats() (entries int, load float64)
+}
+
+// Options tunes a shard's snapshot-swap policy.
+type Options struct {
+	// SwapOps publishes a fresh snapshot once this many profiles have
+	// been applied since the last publication. <= 0 disables the
+	// op-count trigger.
+	SwapOps int
+	// MaxOverlayFraction publishes (and thereby compacts) once the
+	// writer's overlay load exceeds this fraction and MinOverlayEntries
+	// is reached. <= 0 disables the overlay trigger.
+	MaxOverlayFraction float64
+	// MinOverlayEntries suppresses the overlay trigger below this many
+	// overlay entries.
+	MinOverlayEntries int
+}
+
+// Stats is a point-in-time summary of one shard.
+type Stats struct {
+	// ID is the shard's index within its server.
+	ID int
+	// Epoch is the epoch of the currently published snapshot.
+	Epoch uint64
+	// Published is the profile count of the currently published snapshot.
+	Published int
+	// Applied is the number of profiles the worker has applied to the
+	// writable index (published or not).
+	Applied int64
+	// Swaps counts snapshot publications after the initial one.
+	Swaps int64
+	// Queued is the number of operations waiting in the mailbox.
+	Queued int
+	// ApplyTime is the cumulative wall-clock time spent applying insert
+	// batches (excluding snapshot export).
+	ApplyTime time.Duration
+}
+
+// ErrClosed is returned by operations on a shard (or server) that has
+// been closed.
+var ErrClosed = errors.New("shard: closed")
+
+// op is one mailbox entry: an insert batch, a barrier, or both legs nil
+// (never enqueued). A barrier asks the worker to publish a snapshot
+// covering everything applied so far and report completion.
+type op struct {
+	profiles []model.Profile
+	barrier  chan error
+}
+
+// Shard is one snapshot-swap serving partition: a single worker
+// goroutine drains a mailbox of insert batches into the writable index
+// and publishes immutable snapshots on the swap policy, while any number
+// of readers load the current snapshot wait-free. Mailbox enqueues are
+// non-blocking (the queue is unbounded); writes are therefore
+// all-or-nothing across the shards of a server, which is what keeps
+// replicas convergent.
+type Shard struct {
+	id  int
+	w   Writer
+	opt Options
+
+	snap atomic.Pointer[Snapshot]
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []op
+	closed    bool
+	err       error // first apply/publish error; sticky
+	applied   int64
+	swaps     int64
+	applyTime time.Duration
+
+	// sinceSwap counts profiles applied since the last publication.
+	// Worker-goroutine-local; no lock needed.
+	sinceSwap int
+
+	stopped chan struct{}
+}
+
+// New starts a shard worker over a writable index, serving reads from
+// the given initial snapshot (conventionally epoch 0, exported from the
+// index's post-build state).
+func New(id int, w Writer, initial *Snapshot, opt Options) *Shard {
+	s := &Shard{
+		id:      id,
+		w:       w,
+		opt:     opt,
+		stopped: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.snap.Store(initial)
+	go s.loop()
+	return s
+}
+
+// ID returns the shard's index within its server.
+func (s *Shard) ID() int { return s.id }
+
+// Snapshot returns the currently published snapshot. The result is
+// immutable and safe to use for any length of time.
+func (s *Shard) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Err returns the first error the worker encountered, if any.
+func (s *Shard) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Stats returns a point-in-time summary of the shard.
+func (s *Shard) Stats() Stats {
+	snap := s.snap.Load()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		ID:        s.id,
+		Epoch:     snap.Epoch,
+		Published: snap.NumProfiles,
+		Applied:   s.applied,
+		Swaps:     s.swaps,
+		Queued:    len(s.queue),
+		ApplyTime: s.applyTime,
+	}
+}
+
+// Enqueue hands an insert batch to the worker. It never blocks (the
+// mailbox is unbounded) and fails only on a closed shard — in
+// particular NOT on a shard whose worker has already failed, so a
+// caller broadcasting one batch to many shards under a lock that
+// excludes Close either enqueues it on all of them or on none. A
+// failed shard silently drops the batches it receives (see apply);
+// callers observe the failure through Err, Barrier and their own
+// pre-checks. The shard reads the batch asynchronously; callers must
+// not mutate it after handoff.
+func (s *Shard) Enqueue(profiles []model.Profile) error {
+	if len(profiles) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.queue = append(s.queue, op{profiles: profiles})
+	s.cond.Signal()
+	return nil
+}
+
+// Barrier enqueues a publication barrier and waits for it: when Barrier
+// returns nil, every batch enqueued before it has been applied and the
+// published snapshot covers them all (the shard is quiesced). On
+// context cancellation the barrier itself still completes eventually;
+// only the wait is abandoned.
+func (s *Shard) Barrier(ctx context.Context) error {
+	done := make(chan error, 1)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.queue = append(s.queue, op{barrier: done})
+	s.cond.Signal()
+	s.mu.Unlock()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops the worker after draining every operation already in the
+// mailbox, waits for it to exit, and returns the shard's sticky error.
+// Reads remain valid after Close (the last snapshot stays published);
+// Enqueue and Barrier fail with ErrClosed.
+func (s *Shard) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	<-s.stopped
+	return s.Err()
+}
+
+// next blocks until an operation is available or the shard is closed
+// with an empty mailbox. Closing drains: queued operations are still
+// returned after Close.
+func (s *Shard) next() (op, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if len(s.queue) == 0 {
+		return op{}, false
+	}
+	o := s.queue[0]
+	s.queue[0] = op{} // release the batch to the GC as the queue drains
+	s.queue = s.queue[1:]
+	return o, true
+}
+
+// loop is the shard worker: apply, check the swap policy, honor
+// barriers. Application runs under the background context — once a
+// batch is enqueued on every shard it must be applied on every shard,
+// or replicas would diverge; cancellation governs only the enqueue and
+// wait paths.
+func (s *Shard) loop() {
+	defer close(s.stopped)
+	for {
+		o, ok := s.next()
+		if !ok {
+			return
+		}
+		if len(o.profiles) > 0 {
+			s.apply(o.profiles)
+		}
+		if o.barrier != nil {
+			o.barrier <- s.publishIfBehind()
+		}
+	}
+}
+
+// apply folds one insert batch into the writable index and publishes if
+// the swap policy fires. A shard that has already failed drops the
+// batch: its writable index may sit in the aftermath of the failed
+// apply, and pretending to continue would publish state the healthy
+// shards never converge with.
+func (s *Shard) apply(profiles []model.Profile) {
+	if s.Err() != nil {
+		return
+	}
+	t0 := time.Now()
+	_, err := s.w.InsertAll(context.Background(), profiles)
+	dt := time.Since(t0)
+	s.mu.Lock()
+	s.applied += int64(len(profiles))
+	s.applyTime += dt
+	if err != nil && s.err == nil {
+		s.err = fmt.Errorf("shard %d: apply: %w", s.id, err)
+	}
+	failed := s.err != nil
+	s.mu.Unlock()
+	if failed {
+		return
+	}
+	s.sinceSwap += len(profiles)
+	if s.shouldSwap() {
+		s.publish()
+	}
+}
+
+// shouldSwap evaluates the publication policy against the profiles
+// applied since the last swap and the writer's overlay load.
+func (s *Shard) shouldSwap() bool {
+	if s.opt.SwapOps > 0 && s.sinceSwap >= s.opt.SwapOps {
+		return true
+	}
+	if s.opt.MaxOverlayFraction > 0 {
+		entries, load := s.w.OverlayStats()
+		return entries >= s.opt.MinOverlayEntries && load > s.opt.MaxOverlayFraction
+	}
+	return false
+}
+
+// publishIfBehind publishes only when unpublished applications exist —
+// a quiesce on an idle shard costs nothing — and reports the shard's
+// sticky error either way.
+func (s *Shard) publishIfBehind() error {
+	if err := s.Err(); err != nil {
+		return err
+	}
+	if s.sinceSwap == 0 {
+		return nil
+	}
+	return s.publish()
+}
+
+// publish exports a snapshot from the writer and swaps it in, tagging
+// it with the next epoch.
+func (s *Shard) publish() error {
+	snap, err := s.w.Export(context.Background())
+	if err != nil {
+		s.mu.Lock()
+		if s.err == nil {
+			s.err = fmt.Errorf("shard %d: export: %w", s.id, err)
+		}
+		err = s.err
+		s.mu.Unlock()
+		return err
+	}
+	snap.Epoch = s.snap.Load().Epoch + 1
+	s.snap.Store(snap)
+	s.sinceSwap = 0
+	s.mu.Lock()
+	s.swaps++
+	s.mu.Unlock()
+	return nil
+}

@@ -40,32 +40,12 @@ func Entropy(counts []int) float64 {
 	return h
 }
 
-// EntropyFromCounts computes the Shannon entropy of a frequency map
-// without materializing a slice.
-func EntropyFromCounts[K comparable](freq map[K]int) float64 {
-	total := 0
-	for _, c := range freq {
-		if c > 0 {
-			total += c
-		}
-	}
-	if total == 0 {
-		return 0
-	}
-	h := 0.0
-	ft := float64(total)
-	for _, c := range freq {
-		if c <= 0 {
-			continue
-		}
-		p := float64(c) / ft
-		h -= p * math.Log2(p)
-	}
-	if h < 0 {
-		return 0
-	}
-	return h
-}
+// NOTE: there is deliberately no map-based entropy helper. Summing a
+// frequency map in iteration order makes the result vary in its last
+// bits from run to run over identical data (floating-point addition is
+// not associative), which breaks the bitwise-equivalence contracts
+// everything downstream of an entropy is held to. Callers materialize
+// counts in a data-determined order and use Entropy.
 
 // MaxEntropy returns the maximum possible entropy of a distribution over
 // n outcomes, log2(n). It is 0 for n <= 1.

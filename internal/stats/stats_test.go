@@ -77,18 +77,6 @@ func TestEntropyUniformIsMax(t *testing.T) {
 	}
 }
 
-func TestEntropyFromCountsMatchesSlice(t *testing.T) {
-	m := map[string]int{"a": 3, "b": 1, "c": 0, "d": 4}
-	got := EntropyFromCounts(m)
-	want := Entropy([]int{3, 1, 0, 4})
-	if !almostEqual(got, want, 1e-12) {
-		t.Errorf("EntropyFromCounts = %v, want %v", got, want)
-	}
-	if EntropyFromCounts(map[int]int{}) != 0 {
-		t.Error("empty map entropy should be 0")
-	}
-}
-
 func TestMean(t *testing.T) {
 	if got := Mean(nil); got != 0 {
 		t.Errorf("Mean(nil) = %v", got)

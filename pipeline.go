@@ -8,15 +8,19 @@ package blast
 //	Block(ctx, ds, schema)         -> *Blocks   (cleaned block collection)
 //	MetaBlock(ctx, blocks)         -> *Result   (retained comparisons)
 //	BuildIndex(ctx, ds)            -> *Index    (online candidate serving)
+//	Serve(ctx, ds, sopt)           -> *Server   (sharded snapshot-swap serving)
 //
 // Artifacts decouple the phases: one *Schema can feed many Block calls,
 // one *Blocks can feed many MetaBlock calls with different weighting and
 // pruning settings (a C/D parameter sweep re-runs only Phase 3), and an
 // *Index freezes the weighted, pruned blocking graph into a per-profile
 // candidate-serving structure that additionally accepts incremental
-// profile insertions (Index.Insert) without a rebuild. Every phase
-// honors context cancellation at phase and worker-chunk granularity and
-// reports completion to the optional Options.Progress observer.
+// profile insertions (Index.Insert) without a rebuild. ServeBlocks (the
+// blocks-level hook behind Serve, in server.go) lifts one *Blocks
+// artifact into hash-sharded snapshot-swap replicas for read-heavy
+// traffic. Every phase honors context cancellation at phase and
+// worker-chunk granularity and reports completion to the optional
+// Options.Progress observer.
 
 import (
 	"context"

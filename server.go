@@ -1,0 +1,390 @@
+package blast
+
+// Sharded snapshot-swap Index serving. A Server scales the mutable
+// Index of incremental meta-blocking (PR 3) to heavy read traffic by
+// separating the write and read paths completely:
+//
+//   - Writes are globally sequenced and broadcast to N shard workers,
+//     each of which owns a writable Index replica and applies every
+//     batch in the same order. Determinism of the insert path makes the
+//     replicas byte-identical, which is what lets ANY shard answer for
+//     any profile and the quiesced server match a cold IndexBlocks over
+//     the union collection exactly.
+//   - Reads never touch a writable index. Each shard publishes an
+//     immutable, epoch-tagged snapshot (the flat CSR + retention mask +
+//     thresholds that Index.Compact yields) and swaps it atomically on
+//     a compaction policy; point reads are hash-routed by profile id to
+//     the owning shard and served wait-free from its snapshot, while
+//     Pairs fans out over all shards — each enumerating only the rows
+//     it owns — and merges the ordered streams.
+//
+// Consistency contract: a read observes a prefix of each shard's insert
+// sequence (the one its owner had published when the snapshot was
+// swapped in). Quiesce establishes the strongest state — every admitted
+// profile applied, compacted and published on every shard — after which
+// the server's Pairs/Candidates/Threshold are byte-identical to a cold
+// IndexBlocks over the union collection (enforced by the randomized
+// differential tests in server_test.go).
+
+import (
+	"context"
+	"errors"
+	"slices"
+	"sync"
+
+	"blast/internal/blocking"
+	"blast/internal/model"
+	"blast/internal/shard"
+)
+
+// indexWriter adapts a writable Index to the shard.Writer interface.
+type indexWriter struct{ ix *Index }
+
+func (w indexWriter) InsertAll(ctx context.Context, profiles []model.Profile) ([]int, error) {
+	return w.ix.InsertAll(ctx, profiles)
+}
+
+func (w indexWriter) Export(ctx context.Context) (*shard.Snapshot, error) {
+	return w.ix.exportSnapshot(ctx)
+}
+
+func (w indexWriter) OverlayStats() (int, float64) {
+	st := w.ix.Stats()
+	return st.OverlayEntries, st.OverlayLoad
+}
+
+// Server serves candidate queries from hash-sharded snapshot-swap
+// replicas while absorbing streamed profile inserts. Construct with
+// Pipeline.Serve or Pipeline.ServeBlocks; always Close a server when
+// done (Close stops the shard workers; reads stay valid afterwards).
+// All methods are safe for concurrent use.
+type Server struct {
+	kind     model.Kind
+	shards   []*shard.Shard
+	replicas []*Index
+
+	mu     sync.Mutex
+	nextID int
+	closed bool
+}
+
+// Serve runs the full pipeline on the dataset and starts a sharded
+// snapshot-swap server over the outcome: InduceSchema, Block, then
+// ServeBlocks.
+func (p *Pipeline) Serve(ctx context.Context, ds *model.Dataset, sopt ServerOptions) (*Server, error) {
+	sch, err := p.InduceSchema(ctx, ds)
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := p.Block(ctx, ds, sch)
+	if err != nil {
+		return nil, err
+	}
+	return p.ServeBlocks(ctx, blocks, sopt)
+}
+
+// ServeBlocks freezes a Blocks artifact into one writable Index per
+// shard (one build plus O(E) clones) and starts the shard workers, each
+// serving reads from an initial epoch-0 snapshot of the build. The
+// artifact itself is never mutated. Replicas swap snapshots over
+// compaction — their internal auto-compaction is disabled and the
+// Options.Compaction knobs instead drive the shard-level overlay swap
+// trigger, so folding the overlay and publishing the result are one
+// event.
+func (p *Pipeline) ServeBlocks(ctx context.Context, blocks *Blocks, sopt ServerOptions) (*Server, error) {
+	if err := sopt.Validate(); err != nil {
+		return nil, err
+	}
+	master, err := p.indexBlocks(ctx, blocks, true)
+	if err != nil {
+		return nil, err
+	}
+	initial, err := master.exportSnapshot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	n := sopt.shards()
+	shOpt := shard.Options{
+		SwapOps:            sopt.swapOps(),
+		MaxOverlayFraction: p.opt.Compaction.maxFraction(),
+		MinOverlayEntries:  p.opt.Compaction.minEntries(),
+	}
+	if p.opt.Compaction.disabled() {
+		shOpt.MaxOverlayFraction = 0
+	}
+	srv := &Server{
+		kind:     master.Kind(),
+		shards:   make([]*shard.Shard, n),
+		replicas: make([]*Index, n),
+		nextID:   master.NumProfiles(),
+	}
+	for i := 0; i < n; i++ {
+		rep := master
+		if i > 0 {
+			rep = master.cloneForServing()
+		}
+		rep.opt.Compaction = Compaction{MaxOverlayFraction: -1}
+		srv.replicas[i] = rep
+		srv.shards[i] = shard.New(i, indexWriter{rep}, initial, shOpt)
+	}
+	return srv, nil
+}
+
+// NumShards returns the number of shard workers.
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// Kind returns the ER setting of the served dataset.
+func (s *Server) Kind() model.Kind { return s.kind }
+
+// Admitted returns the number of profiles the server has accepted:
+// the build's profiles plus every insert admitted so far, whether or
+// not the shards have applied and published them yet.
+func (s *Server) Admitted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextID
+}
+
+// NumProfiles returns the number of profiles every read is guaranteed
+// to observe: the smallest published profile count across the shards.
+// After Quiesce it equals Admitted.
+func (s *Server) NumProfiles() int {
+	n := -1
+	for _, sh := range s.shards {
+		if p := sh.Snapshot().NumProfiles; n < 0 || p < n {
+			n = p
+		}
+	}
+	return n
+}
+
+// Stats returns a point-in-time summary of every shard.
+func (s *Server) Stats() []shard.Stats {
+	out := make([]shard.Stats, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.Stats()
+	}
+	return out
+}
+
+// Err returns the first error any shard worker encountered, if any.
+func (s *Server) Err() error {
+	for _, sh := range s.shards {
+		if err := sh.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Insert admits one profile and returns its assigned global id. The
+// profile is applied asynchronously on every shard's write path;
+// reads observe it once the owning shard next publishes (at the swap
+// cadence, or at the latest on Quiesce).
+func (s *Server) Insert(ctx context.Context, p *model.Profile) (int, error) {
+	if p == nil {
+		return -1, errors.New("blast: Insert requires a non-nil profile")
+	}
+	ids, err := s.InsertAll(ctx, []model.Profile{*p})
+	if len(ids) == 1 {
+		return ids[0], err
+	}
+	return -1, err
+}
+
+// InsertAll admits a batch of profiles, assigns their global ids in
+// admission order, and broadcasts the batch to every shard worker. The
+// broadcast is all-or-nothing — enqueues never block — so replicas
+// always converge on the same insert sequence; ctx guards only
+// admission. Ids are returned immediately; application and publication
+// are asynchronous (see the consistency contract in the type docs).
+func (s *Server) InsertAll(ctx context.Context, profiles []model.Profile) ([]int, error) {
+	if len(profiles) == 0 {
+		return nil, ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, shard.ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	// One shared deep copy: the workers read the batch asynchronously,
+	// so nothing may alias caller memory — copying the Profile structs
+	// alone would share the Pairs backing arrays and let a caller
+	// reusing its buffers race the appliers. The workers only read the
+	// copy, so one serves every shard.
+	batch := make([]model.Profile, len(profiles))
+	for i := range profiles {
+		batch[i] = profiles[i]
+		batch[i].Pairs = slices.Clone(profiles[i].Pairs)
+	}
+	// Enqueues cannot fail here — the server lock excludes Close, and a
+	// shard mailbox never rejects otherwise — so the broadcast is
+	// atomic: every shard receives the batch or (had Close won the
+	// lock) none does.
+	for _, sh := range s.shards {
+		if err := sh.Enqueue(batch); err != nil {
+			return nil, err
+		}
+	}
+	ids := make([]int, len(profiles))
+	for i := range ids {
+		ids[i] = s.nextID
+		s.nextID++
+	}
+	return ids, nil
+}
+
+// owner returns the shard serving a profile's point reads.
+func (s *Server) owner(profile int) *shard.Shard {
+	return s.shards[shard.Owner(int32(profile), len(s.shards))]
+}
+
+// Candidates returns the retained candidate comparisons of one profile
+// from the owning shard's published snapshot, ordered by descending
+// weight (ties by ascending id). Result semantics match Index.Candidates
+// (never nil; out-of-range ids yield an empty slice).
+func (s *Server) Candidates(profile int) []Candidate {
+	return s.AppendCandidates(make([]Candidate, 0, 4), profile)
+}
+
+// AppendCandidates appends the retained candidate comparisons of one
+// profile to buf, serving wait-free from the owning shard's published
+// snapshot. Semantics match Index.AppendCandidates.
+func (s *Server) AppendCandidates(buf []Candidate, profile int) []Candidate {
+	if profile < 0 {
+		return buf
+	}
+	return s.owner(profile).Snapshot().AppendCandidates(buf, profile)
+}
+
+// Threshold returns theta_i of a profile from the owning shard's
+// published snapshot. Semantics match Index.Threshold.
+func (s *Server) Threshold(profile int) float64 {
+	if profile < 0 {
+		return 0
+	}
+	return s.owner(profile).Snapshot().Threshold(profile)
+}
+
+// Epoch returns the publication epoch of the shard owning a profile —
+// the version tag of the state its reads are served from.
+func (s *Server) Epoch(profile int) uint64 {
+	if profile < 0 {
+		return 0
+	}
+	return s.owner(profile).Snapshot().Epoch
+}
+
+// Pairs returns every retained comparison in canonical order by fanning
+// the enumeration out across the shards — each walks only the rows it
+// owns in its published snapshot — and merging the ordered streams.
+// On a quiesced server the result is byte-identical to Index.Pairs of a
+// cold IndexBlocks over the union collection.
+func (s *Server) Pairs(ctx context.Context) ([]model.IDPair, error) {
+	n := len(s.shards)
+	snaps := make([]*shard.Snapshot, n)
+	rows := 0
+	for i, sh := range s.shards {
+		snaps[i] = sh.Snapshot()
+		if snaps[i].NumProfiles > rows {
+			rows = snaps[i].NumProfiles
+		}
+	}
+	// Hash each row's owner once, shared read-only by every goroutine,
+	// instead of n times (once per shard's own enumeration pass).
+	owners := make([]uint8, rows)
+	for u := range owners {
+		owners[u] = uint8(shard.Owner(int32(u), n))
+	}
+	parts := make([][]model.IDPair, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int, snap *shard.Snapshot) {
+			defer wg.Done()
+			owns := func(u int32) bool { return owners[u] == uint8(i) }
+			parts[i], errs[i] = snap.AppendOwnedPairs(ctx, nil, owns)
+		}(i, snaps[i])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return shard.MergePairs(parts), nil
+}
+
+// Quiesce drives every shard to the strongest consistent state: all
+// admitted batches applied, overlays compacted, snapshots swapped. When
+// it returns nil, every read (on any shard) observes every insert
+// admitted before the call. Barriers run on all shards concurrently;
+// ctx bounds only the wait.
+func (s *Server) Quiesce(ctx context.Context) error {
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *shard.Shard) {
+			defer wg.Done()
+			errs[i] = sh.Barrier(ctx)
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Blocks returns the live block collection of the first replica — on a
+// quiesced server, the union collection every replica agrees on. The
+// returned collection must not be modified.
+func (s *Server) Blocks() *blocking.Collection {
+	return s.replicas[0].Blocks()
+}
+
+// Schema returns the Phase 1 artifact the server's indexes were blocked
+// under (nil for a schema-agnostic run).
+func (s *Server) Schema() *Schema {
+	return s.replicas[0].Schema()
+}
+
+// Close stops the shard workers after they drain every admitted batch,
+// and returns the first shard error, if any. Reads remain valid on the
+// last published snapshots; Insert, InsertAll and Quiesce fail after
+// Close. Close is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *shard.Shard) {
+			defer wg.Done()
+			errs[i] = sh.Close()
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,455 @@
+package blast
+
+// Differential tests of sharded snapshot-swap serving: for any
+// interleaving of inserts and swaps, a quiesced Server (all shards
+// applied + compacted + swapped) must return exactly the Pairs,
+// Candidates and Threshold of a cold IndexBlocks over the union
+// collection, across Scheme x Pruning x shard counts. Plus the
+// consistency, lifecycle, -race stress and goroutine-leak contracts.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"blast/internal/metablocking"
+	"blast/internal/model"
+	"blast/internal/shard"
+	"blast/internal/stats"
+	"blast/internal/weights"
+)
+
+// checkServerEquivalence quiesces the server and asserts the sharded
+// serving contract: every observable matches a cold IndexBlocks over
+// the union collection.
+func checkServerEquivalence(t *testing.T, label string, p *Pipeline, srv *Server) {
+	t.Helper()
+	ctx := context.Background()
+	if err := srv.Quiesce(ctx); err != nil {
+		t.Fatalf("%s: Quiesce: %v", label, err)
+	}
+	cold, err := p.IndexBlocks(ctx, &Blocks{Collection: srv.Blocks().Clone(), Schema: srv.Schema()})
+	if err != nil {
+		t.Fatalf("%s: cold IndexBlocks: %v", label, err)
+	}
+	if got, want := srv.NumProfiles(), cold.NumProfiles(); got != want {
+		t.Fatalf("%s: NumProfiles = %d, want %d", label, got, want)
+	}
+	if got, want := srv.NumProfiles(), srv.Admitted(); got != want {
+		t.Fatalf("%s: quiesced server published %d of %d admitted profiles", label, got, want)
+	}
+	got, err := srv.Pairs(ctx)
+	if err != nil {
+		t.Fatalf("%s: Pairs: %v", label, err)
+	}
+	assertSamePairs(t, label+" pairs", cold.Pairs(), got)
+	var wantC, gotC []Candidate
+	for i := 0; i < cold.NumProfiles(); i++ {
+		if cw, sw := cold.Threshold(i), srv.Threshold(i); cw != sw {
+			t.Fatalf("%s: Threshold(%d) = %v, want %v", label, i, sw, cw)
+		}
+		wantC = cold.AppendCandidates(wantC[:0], i)
+		gotC = srv.AppendCandidates(gotC[:0], i)
+		if len(wantC) != len(gotC) {
+			t.Fatalf("%s: Candidates(%d): %d, want %d", label, i, len(gotC), len(wantC))
+		}
+		for k := range wantC {
+			if wantC[k] != gotC[k] {
+				t.Fatalf("%s: Candidates(%d)[%d] = %+v, want %+v", label, i, k, gotC[k], wantC[k])
+			}
+		}
+	}
+}
+
+// TestServerEquivalenceMatrix interleaves insert batches and quiesces
+// across Scheme x Pruning, cycling the shard count through the axis, and
+// checks the cold-rebuild contract after every quiesce point.
+func TestServerEquivalenceMatrix(t *testing.T) {
+	ctx := context.Background()
+	schemes := []weights.Scheme{
+		{Kind: weights.ChiSquared, Entropy: true},
+		{Kind: weights.CBS},
+		{Kind: weights.JS},
+		{Kind: weights.ARCS, Entropy: true},
+		{Kind: weights.ECBS},
+	}
+	prunings := []metablocking.Pruning{
+		metablocking.WEP, metablocking.CEP, metablocking.WNP1,
+		metablocking.WNP2, metablocking.CNP1, metablocking.CNP2,
+		metablocking.BlastWNP,
+	}
+	shardCounts := []int{1, 2, 4}
+	cfg := 0
+	for _, scheme := range schemes {
+		for _, pruning := range prunings {
+			shards := shardCounts[cfg%len(shardCounts)]
+			cfg++
+			label := fmt.Sprintf("%s/%v/shards=%d", scheme.Name(), pruning, shards)
+			rng := stats.NewRNG(uint64(cfg)*2654435761 + 7)
+			ds := synthDirty(rng, 50)
+			opt := DefaultOptions()
+			opt.Scheme = scheme
+			opt.Pruning = pruning
+			p, err := NewPipeline(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv, err := p.Serve(ctx, ds, ServerOptions{Shards: shards, SwapOps: 8})
+			if err != nil {
+				t.Fatalf("%s: Serve: %v", label, err)
+			}
+			streamed := 0
+			for batch := 0; batch < 2; batch++ {
+				profs := make([]model.Profile, 7)
+				for i := range profs {
+					profs[i] = synthProfile(rng, fmt.Sprintf("s%d-%d", batch, i))
+				}
+				ids, err := srv.InsertAll(ctx, profs)
+				if err != nil {
+					t.Fatalf("%s: InsertAll: %v", label, err)
+				}
+				for k, id := range ids {
+					if want := 50 + streamed + k; id != want {
+						t.Fatalf("%s: id[%d] = %d, want %d", label, k, id, want)
+					}
+				}
+				streamed += len(profs)
+				checkServerEquivalence(t, fmt.Sprintf("%s batch %d", label, batch), p, srv)
+			}
+			if err := srv.Close(); err != nil {
+				t.Fatalf("%s: Close: %v", label, err)
+			}
+		}
+	}
+}
+
+// TestServerShardCountsFullCross runs the default configuration over
+// every shard count 1..4 with a randomized insert/quiesce interleaving
+// and checks that all of them converge to the identical cold state.
+func TestServerShardCountsFullCross(t *testing.T) {
+	ctx := context.Background()
+	for shards := 1; shards <= 4; shards++ {
+		rng := stats.NewRNG(uint64(shards) * 7919)
+		ds := synthDirty(rng, 40)
+		p, err := NewPipeline(DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := p.Serve(ctx, ds, ServerOptions{Shards: shards, SwapOps: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed := 0
+		for streamed < 20 {
+			n := 1 + rng.Intn(5)
+			profs := make([]model.Profile, n)
+			for i := range profs {
+				profs[i] = synthProfile(rng, fmt.Sprintf("s%d", streamed+i))
+			}
+			if _, err := srv.InsertAll(ctx, profs); err != nil {
+				t.Fatal(err)
+			}
+			streamed += n
+			if rng.Intn(2) == 0 {
+				if err := srv.Quiesce(ctx); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		checkServerEquivalence(t, fmt.Sprintf("shards=%d", shards), p, srv)
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestServerCleanClean streams profiles into E2 of a clean-clean server
+// and checks the contract (streamed profiles must join the E2 id space).
+func TestServerCleanClean(t *testing.T) {
+	ctx := context.Background()
+	rng := stats.NewRNG(17)
+	e1 := model.NewCollection("ref")
+	e2 := model.NewCollection("live")
+	for i := 0; i < 30; i++ {
+		e1.Append(synthProfile(rng, fmt.Sprintf("a%d", i)))
+	}
+	for i := 0; i < 20; i++ {
+		e2.Append(synthProfile(rng, fmt.Sprintf("b%d", i)))
+	}
+	ds := &model.Dataset{Name: "cc", Kind: model.CleanClean, E1: e1, E2: e2, Truth: model.NewGroundTruth()}
+	p, err := NewPipeline(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := p.Serve(ctx, ds, ServerOptions{Shards: 3, SwapOps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Kind() != model.CleanClean {
+		t.Fatalf("Kind = %v", srv.Kind())
+	}
+	for i := 0; i < 10; i++ {
+		prof := synthProfile(rng, fmt.Sprintf("s%d", i))
+		id, err := srv.Insert(ctx, &prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id < 50 {
+			t.Fatalf("streamed profile landed below the E2 id space: %d", id)
+		}
+	}
+	checkServerEquivalence(t, "clean-clean", p, srv)
+}
+
+// TestServerConcurrentSnapshotSwap is the -race stress test: concurrent
+// writers, point readers, pair scanners and quiescers interleave with
+// per-shard compaction+swap churn (SwapOps=1), then a final quiesce must
+// still match the cold rebuild, Close must stop every goroutine, and
+// epochs must only ever grow.
+func TestServerConcurrentSnapshotSwap(t *testing.T) {
+	ctx := context.Background()
+	rng := stats.NewRNG(23)
+	ds := synthDirty(rng, 60)
+	p, err := NewPipeline(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+	srv, err := p.Serve(ctx, ds, ServerOptions{Shards: 3, SwapOps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Point readers: candidates, thresholds, epochs must never tear.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var buf []Candidate
+			lastEpoch := make(map[int]uint64)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := srv.NumProfiles()
+				id := (i*13 + r) % (n + 2)
+				buf = srv.AppendCandidates(buf[:0], id)
+				srv.Threshold(id)
+				if e := srv.Epoch(id); e < lastEpoch[shard.Owner(int32(id), 3)] {
+					t.Errorf("epoch moved backwards on shard of profile %d", id)
+					return
+				} else {
+					lastEpoch[shard.Owner(int32(id), 3)] = e
+				}
+			}
+		}(r)
+	}
+	// A pair scanner exercising the fan-out merge against live swaps.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := srv.Pairs(ctx); err != nil {
+				t.Errorf("Pairs: %v", err)
+				return
+			}
+		}
+	}()
+	// Concurrent writers and an occasional quiescer.
+	var wmu sync.Mutex
+	wrng := stats.NewRNG(99)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < 8; b++ {
+				wmu.Lock()
+				profs := make([]model.Profile, 3)
+				for i := range profs {
+					profs[i] = synthProfile(wrng, fmt.Sprintf("w%d-%d-%d", w, b, i))
+				}
+				wmu.Unlock()
+				if _, err := srv.InsertAll(ctx, profs); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				if b%3 == 0 {
+					if err := srv.Quiesce(ctx); err != nil {
+						t.Errorf("quiesce: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	checkServerEquivalence(t, "stress", p, srv)
+	st := srv.Stats()
+	if len(st) != 3 {
+		t.Fatalf("stats for %d shards", len(st))
+	}
+	for _, s := range st {
+		if s.Applied != 48 {
+			t.Errorf("shard %d applied %d, want 48", s.ID, s.Applied)
+		}
+		if s.Swaps == 0 {
+			t.Errorf("shard %d never swapped", s.ID)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Goroutine-leak check on Close: the shard workers must all exit.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > base {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Errorf("goroutines leaked after Server.Close: %d > %d", n, base)
+	}
+}
+
+// TestServerLifecycleAndBoundaries covers the non-happy paths: closed
+// servers reject writes but keep serving reads, out-of-range ids serve
+// empty results, cancelled contexts admit nothing, options validate, and
+// reads before any publication see exactly the build state.
+func TestServerLifecycleAndBoundaries(t *testing.T) {
+	ctx := context.Background()
+	rng := stats.NewRNG(41)
+	ds := synthDirty(rng, 30)
+	p, err := NewPipeline(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := p.Serve(ctx, ds, ServerOptions{Shards: -1}); err == nil {
+		t.Error("negative shard count accepted")
+	}
+	if _, err := p.Serve(ctx, ds, ServerOptions{Shards: maxServerShards + 1}); err == nil {
+		t.Error("absurd shard count accepted")
+	}
+	sup := DefaultOptions()
+	sup.Supervised = true
+	ps, err := NewPipeline(sup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.Serve(ctx, ds, ServerOptions{}); err == nil {
+		t.Error("supervised serving accepted")
+	}
+
+	srv, err := p.Serve(ctx, ds, ServerOptions{Shards: 2, SwapOps: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any insert the epoch-0 snapshots serve the build state.
+	cold, err := p.IndexBlocks(ctx, &Blocks{Collection: srv.Blocks().Clone(), Schema: srv.Schema()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv.Pairs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePairs(t, "epoch-0 pairs", cold.Pairs(), got)
+	for _, bad := range []int{-1, srv.NumProfiles(), 1 << 29} {
+		if c := srv.Candidates(bad); c == nil || len(c) != 0 {
+			t.Errorf("Candidates(%d) = %v, want empty non-nil", bad, c)
+		}
+		if th := srv.Threshold(bad); th != 0 {
+			t.Errorf("Threshold(%d) = %v", bad, th)
+		}
+	}
+
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := srv.InsertAll(cancelled, []model.Profile{synthProfile(rng, "x")}); err != context.Canceled {
+		t.Errorf("cancelled InsertAll err = %v", err)
+	}
+	if admitted := srv.Admitted(); admitted != 30 {
+		t.Errorf("cancelled insert admitted profiles: %d", admitted)
+	}
+	if _, err := srv.Insert(ctx, nil); err == nil {
+		t.Error("nil profile accepted")
+	}
+	if ids, err := srv.InsertAll(ctx, nil); err != nil || ids != nil {
+		t.Errorf("empty InsertAll = %v, %v", ids, err)
+	}
+
+	prof := synthProfile(rng, "y")
+	if _, err := srv.Insert(ctx, &prof); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if _, err := srv.Insert(ctx, &prof); err != shard.ErrClosed {
+		t.Errorf("Insert after Close err = %v", err)
+	}
+	if err := srv.Quiesce(ctx); err != shard.ErrClosed {
+		t.Errorf("Quiesce after Close err = %v", err)
+	}
+	// Reads still serve after Close (the drained insert included).
+	if n := srv.NumProfiles(); n < 30 {
+		t.Errorf("NumProfiles after Close = %d", n)
+	}
+	if c := srv.Candidates(0); c == nil {
+		t.Error("Candidates after Close returned nil")
+	}
+	if _, err := srv.Pairs(ctx); err != nil {
+		t.Errorf("Pairs after Close: %v", err)
+	}
+}
+
+// TestServerConsistencyPrefix pins the consistency contract: without a
+// quiesce, reads observe some prefix of the insert sequence — never a
+// torn state — and after the swap cadence fires they observe the full
+// sequence.
+func TestServerConsistencyPrefix(t *testing.T) {
+	ctx := context.Background()
+	rng := stats.NewRNG(53)
+	ds := synthDirty(rng, 40)
+	p, err := NewPipeline(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := p.Serve(ctx, ds, ServerOptions{Shards: 2, SwapOps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for i := 0; i < 10; i++ {
+		prof := synthProfile(rng, fmt.Sprintf("s%d", i))
+		if _, err := srv.Insert(ctx, &prof); err != nil {
+			t.Fatal(err)
+		}
+		if n := srv.NumProfiles(); n < 40 || n > srv.Admitted() {
+			t.Fatalf("published profiles %d outside [40, %d]", n, srv.Admitted())
+		}
+	}
+	if err := srv.Quiesce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n, a := srv.NumProfiles(), srv.Admitted(); n != a {
+		t.Fatalf("quiesced server published %d of %d", n, a)
+	}
+}
