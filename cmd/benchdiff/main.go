@@ -1,7 +1,8 @@
 // Command benchdiff is the CI benchmark-regression gate: it compares
 // the benchmark artifacts of the current run (BENCH_query.json,
-// BENCH_incremental.json, BENCH_serve.json) against committed baselines
-// and fails when a gated metric regresses beyond the threshold.
+// BENCH_incremental.json, BENCH_serve.json, BENCH_prune.json) against
+// committed baselines and fails when a gated metric regresses beyond
+// the threshold.
 //
 // Gated metrics:
 //
@@ -17,6 +18,17 @@
 //     (default 4): scaling is bounded by available parallelism, so
 //     enforcing 2x on a 1-core runner would gate on the hardware, not
 //     the code.
+//   - prune: per-cell (dataset/pruning/workers) prune time must not
+//     grow more than threshold; every current row must be byte-equal to
+//     its serial run (EqualSerial); and the best speedup at the largest
+//     worker count must reach -min-prune-speedup (default 2.0), again
+//     only on hosts with at least -min-scaling-procs CPUs.
+//
+// Degenerate artifact values — zero, negative, NaN or Inf where a
+// latency, throughput, speedup or scaling factor belongs — are a named
+// failure in either direction (baseline or current): a broken artifact
+// must fail the gate loudly, never produce an Inf/NaN ratio that
+// silently passes it.
 //
 // A missing baseline file skips its checks with a note (so a newly
 // introduced artifact does not fail the gate before its baseline is
@@ -27,6 +39,7 @@
 //	go run ./cmd/blastbench -exp query -scale 0.5 -json > bench/baselines/BENCH_query.json
 //	go run ./cmd/blastbench -exp incremental -scale 0.5 -json > bench/baselines/BENCH_incremental.json
 //	go run ./cmd/blastbench -exp serve -scale 0.5 -json > bench/baselines/BENCH_serve.json
+//	go run ./cmd/blastbench -exp prune -scale 0.5 -json > bench/baselines/BENCH_prune.json
 package main
 
 import (
@@ -34,6 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 
@@ -45,10 +59,11 @@ func main() {
 	curDir := flag.String("current", ".", "directory of freshly generated artifacts")
 	threshold := flag.Float64("threshold", 0.25, "allowed relative regression per metric")
 	minScaling := flag.Float64("min-serve-scaling", 2.0, "required read-throughput scaling, largest shard count vs 1")
-	minProcs := flag.Int("min-scaling-procs", 4, "minimum GOMAXPROCS recorded in the artifact for the scaling floor to be enforced")
+	minPrune := flag.Float64("min-prune-speedup", 2.0, "required pruning speedup at the largest worker count vs serial")
+	minProcs := flag.Int("min-scaling-procs", 4, "minimum GOMAXPROCS recorded in the artifact for the scaling and speedup floors to be enforced")
 	flag.Parse()
 
-	failures, err := run(os.Stdout, *baseDir, *curDir, *threshold, *minScaling, *minProcs)
+	failures, err := run(os.Stdout, *baseDir, *curDir, *threshold, *minScaling, *minPrune, *minProcs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
@@ -57,6 +72,59 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed beyond the gate\n", failures)
 		os.Exit(1)
 	}
+}
+
+// degenerateNote classifies a metric value no gate can reason about:
+// latencies, throughputs, speedups and scaling factors are all strictly
+// positive finite numbers in a healthy artifact.
+func degenerateNote(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 0):
+		return "Inf"
+	case v <= 0:
+		return "non-positive"
+	}
+	return ""
+}
+
+// gated builds the check for one metric pair. lowerIsBetter selects the
+// direction: latencies gate growth, speedups and throughputs gate
+// shrinkage. Degenerate values on either side are a named failure — a
+// zero or NaN baseline would otherwise make the ratio vacuous and pass
+// any current value through the gate.
+func gated(metric string, base, cur, threshold float64, lowerIsBetter bool) check {
+	c := check{metric: metric, baseline: base, current: cur}
+	if bad := degenerateNote(base); bad != "" {
+		c.note = "degenerate baseline (" + bad + ")"
+		return c
+	}
+	if bad := degenerateNote(cur); bad != "" {
+		c.note = "degenerate current (" + bad + ")"
+		return c
+	}
+	if lowerIsBetter {
+		c.ok = cur <= base*(1+threshold)
+	} else {
+		c.ok = cur >= base*(1-threshold)
+	}
+	return c
+}
+
+// floorCheck builds the check for a metric judged against an absolute
+// floor over the current run alone (serve's shard scaling, prune's
+// worker speedup) rather than against a baseline. Degenerate values
+// fail by name, like gated.
+func floorCheck(metric string, floor, cur float64) check {
+	c := check{metric: metric, baseline: floor, current: cur}
+	if bad := degenerateNote(cur); bad != "" {
+		c.note = "degenerate current (" + bad + ")"
+		return c
+	}
+	c.ok = cur >= floor
+	c.note = "floor, not baseline"
+	return c
 }
 
 // loadJSON decodes one artifact into rows; (nil, nil) when the file
@@ -85,7 +153,7 @@ type check struct {
 	note     string
 }
 
-func run(w io.Writer, baseDir, curDir string, threshold, minScaling float64, minProcs int) (failures int, err error) {
+func run(w io.Writer, baseDir, curDir string, threshold, minScaling, minPrune float64, minProcs int) (failures int, err error) {
 	var checks []check
 	add := func(c check) {
 		checks = append(checks, c)
@@ -119,13 +187,7 @@ func run(w io.Writer, baseDir, curDir string, threshold, minScaling float64, min
 				add(check{metric: "query/" + b.Dataset + " p50", baseline: float64(b.P50), ok: false, note: "dataset missing from current run"})
 				continue
 			}
-			limit := float64(b.P50) * (1 + threshold)
-			add(check{
-				metric:   "query/" + b.Dataset + " p50 ns",
-				baseline: float64(b.P50),
-				current:  float64(c.P50),
-				ok:       float64(c.P50) <= limit,
-			})
+			add(gated("query/"+b.Dataset+" p50 ns", float64(b.P50), float64(c.P50), threshold, true))
 		}
 	}
 
@@ -154,13 +216,7 @@ func run(w io.Writer, baseDir, curDir string, threshold, minScaling float64, min
 				add(check{metric: "incremental/" + b.Dataset + " speedup", baseline: b.AmortizedSpeedup, ok: false, note: "dataset missing from current run"})
 				continue
 			}
-			floor := b.AmortizedSpeedup * (1 - threshold)
-			add(check{
-				metric:   "incremental/" + b.Dataset + " speedup",
-				baseline: b.AmortizedSpeedup,
-				current:  c.AmortizedSpeedup,
-				ok:       c.AmortizedSpeedup >= floor,
-			})
+			add(gated("incremental/"+b.Dataset+" speedup", b.AmortizedSpeedup, c.AmortizedSpeedup, threshold, false))
 		}
 	}
 
@@ -193,13 +249,7 @@ func run(w io.Writer, baseDir, curDir string, threshold, minScaling float64, min
 				add(check{metric: "serve/" + key(b) + " reads/s", baseline: b.ReadThroughput, ok: false, note: "configuration missing from current run"})
 				continue
 			}
-			floor := b.ReadThroughput * (1 - threshold)
-			add(check{
-				metric:   "serve/" + key(b) + " reads/s",
-				baseline: b.ReadThroughput,
-				current:  c.ReadThroughput,
-				ok:       c.ReadThroughput >= floor,
-			})
+			add(gated("serve/"+key(b)+" reads/s", b.ReadThroughput, c.ReadThroughput, threshold, false))
 		}
 	}
 	if curS != nil {
@@ -218,13 +268,72 @@ func run(w io.Writer, baseDir, curDir string, threshold, minScaling float64, min
 		case top.GOMAXPROCS < minProcs:
 			fmt.Fprintf(w, "serve: scaling floor skipped (GOMAXPROCS %d < %d; scaling is parallelism-bound)\n", top.GOMAXPROCS, minProcs)
 		default:
-			add(check{
-				metric:   fmt.Sprintf("serve/%s scaling %d vs 1 shard", top.Dataset, top.Shards),
-				baseline: minScaling,
-				current:  top.ScalingVs1,
-				ok:       top.ScalingVs1 >= minScaling,
-				note:     "floor, not baseline",
-			})
+			add(floorCheck(fmt.Sprintf("serve/%s scaling %d vs 1 shard", top.Dataset, top.Shards),
+				minScaling, top.ScalingVs1))
+		}
+	}
+
+	// prune: per-cell prune time vs baseline, the serial/parallel
+	// byte-equality flag, and the speedup floor over the current run
+	// alone (like the serve scaling floor, enforced only on hosts with
+	// enough CPUs to make the floor about the code).
+	baseP, err := loadJSON[experiments.PruneRow](baseDir, "BENCH_prune.json")
+	if err != nil {
+		return 0, err
+	}
+	curP, err := loadJSON[experiments.PruneRow](curDir, "BENCH_prune.json")
+	if err != nil {
+		return 0, err
+	}
+	if baseP == nil {
+		fmt.Fprintln(w, "prune: no baseline, time comparison skipped")
+	} else {
+		if curP == nil {
+			return 0, fmt.Errorf("missing current BENCH_prune.json (baseline exists)")
+		}
+		key := func(r experiments.PruneRow) string {
+			return fmt.Sprintf("%s/%s/workers=%d", r.Dataset, r.Pruning, r.Workers)
+		}
+		cur := make(map[string]experiments.PruneRow, len(curP))
+		for _, r := range curP {
+			cur[key(r)] = r
+		}
+		for _, b := range baseP {
+			c, found := cur[key(b)]
+			if !found {
+				add(check{metric: "prune/" + key(b) + " ns", baseline: float64(b.PruneTime), ok: false, note: "configuration missing from current run"})
+				continue
+			}
+			add(gated("prune/"+key(b)+" ns", float64(b.PruneTime), float64(c.PruneTime), threshold, true))
+		}
+	}
+	if curP != nil {
+		topWorkers, best := 0, math.Inf(-1)
+		var bestRow experiments.PruneRow
+		for _, r := range curP {
+			if !r.EqualSerial {
+				add(check{
+					metric:  fmt.Sprintf("prune/%s/%s/workers=%d equal-serial", r.Dataset, r.Pruning, r.Workers),
+					ok:      false,
+					note:    "parallel output diverged from the serial scheme",
+					current: r.SpeedupVs1,
+				})
+			}
+			if r.Workers > topWorkers {
+				topWorkers, best = r.Workers, math.Inf(-1)
+			}
+			if r.Workers == topWorkers && r.SpeedupVs1 > best {
+				best, bestRow = r.SpeedupVs1, r
+			}
+		}
+		switch {
+		case topWorkers <= 1:
+			fmt.Fprintln(w, "prune: no multi-worker row, speedup floor skipped")
+		case bestRow.GOMAXPROCS < minProcs:
+			fmt.Fprintf(w, "prune: speedup floor skipped (GOMAXPROCS %d < %d; speedup is parallelism-bound)\n", bestRow.GOMAXPROCS, minProcs)
+		default:
+			add(floorCheck(fmt.Sprintf("prune/%s best speedup at %d workers", bestRow.Dataset, topWorkers),
+				minPrune, best))
 		}
 	}
 

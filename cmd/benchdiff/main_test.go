@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -51,7 +52,7 @@ func TestGatePassesWithinThreshold(t *testing.T) {
 		serveRow("dbp", "server", 4, 8, 2.5e6, 2.5),
 	})
 	var out strings.Builder
-	failures, err := run(&out, base, cur, 0.25, 2.0, 4)
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestGateCatchesRegressions(t *testing.T) {
 	writeJSON(t, base, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 4, 8, 2e6, 2.5)})
 	writeJSON(t, cur, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 4, 8, 1e6, 1.2)}) // -50% and scaling < 2
 	var out strings.Builder
-	failures, err := run(&out, base, cur, 0.25, 2.0, 4)
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestGateScalingFloorSkippedOnSmallHosts(t *testing.T) {
 	writeJSON(t, base, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 4, 1, 1e6, 0.8)})
 	writeJSON(t, cur, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 4, 1, 1e6, 0.8)})
 	var out strings.Builder
-	failures, err := run(&out, base, cur, 0.25, 2.0, 4)
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestGateMissingFiles(t *testing.T) {
 	base, cur := t.TempDir(), t.TempDir()
 	// No baselines at all: everything skips, gate passes.
 	var out strings.Builder
-	failures, err := run(&out, base, cur, 0.25, 2.0, 4)
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,18 +118,170 @@ func TestGateMissingFiles(t *testing.T) {
 	}
 	// Baseline present but current missing: hard error.
 	writeJSON(t, base, "BENCH_query.json", []experiments.QueryRow{queryRow("ar1", 100)})
-	if _, err := run(&out, base, cur, 0.25, 2.0, 4); err == nil {
+	if _, err := run(&out, base, cur, 0.25, 2.0, 2.0, 4); err == nil {
 		t.Error("missing current artifact must error")
 	}
 	// Dataset present in baseline but dropped from current: regression.
 	writeJSON(t, cur, "BENCH_query.json", []experiments.QueryRow{queryRow("other", 100)})
 	out.Reset()
-	failures, err = run(&out, base, cur, 0.25, 2.0, 4)
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if failures != 1 {
 		t.Fatalf("failures = %d, want 1 for dropped dataset\n%s", failures, out.String())
+	}
+}
+
+func pruneRow(ds, pruning string, workers, procs int, ns time.Duration, speedup float64, equal bool) experiments.PruneRow {
+	return experiments.PruneRow{Dataset: ds, Pruning: pruning, Workers: workers, GOMAXPROCS: procs,
+		PruneTime: ns, SpeedupVs1: speedup, EqualSerial: equal}
+}
+
+// TestGateDegenerateBaseline: degenerate metrics in the BASELINE must
+// produce named failures — a zero baseline p50 or speedup would
+// otherwise make every current value pass the ratio vacuously. (JSON
+// cannot carry NaN/Inf, so zero and negative values are the degenerate
+// shapes a real artifact can take; the NaN/Inf classification is still
+// covered by TestDegenerateNote.)
+func TestGateDegenerateBaseline(t *testing.T) {
+	base, cur := t.TempDir(), t.TempDir()
+	writeJSON(t, base, "BENCH_query.json", []experiments.QueryRow{queryRow("ar1", 0)}) // zero p50
+	writeJSON(t, cur, "BENCH_query.json", []experiments.QueryRow{queryRow("ar1", 100)})
+	writeJSON(t, base, "BENCH_incremental.json", []experiments.IncrementalRow{incRow("ar1", 0)})
+	writeJSON(t, cur, "BENCH_incremental.json", []experiments.IncrementalRow{incRow("ar1", 30)})
+	writeJSON(t, base, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 1, 8, -1, 1)})
+	writeJSON(t, cur, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 1, 8, 1e6, 1)})
+	var out strings.Builder
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 3 {
+		t.Fatalf("failures = %d, want 3 named degenerate-baseline failures\n%s", failures, out.String())
+	}
+	if got := strings.Count(out.String(), "degenerate baseline (non-positive)"); got != 3 {
+		t.Errorf("want 3 named degenerate-baseline notes, got %d in:\n%s", got, out.String())
+	}
+}
+
+// TestDegenerateNote pins the value classification, including the
+// NaN/Inf shapes that can only arise from in-process arithmetic (a
+// zero baseline turning a ratio Inf), not from a parsed artifact.
+func TestDegenerateNote(t *testing.T) {
+	cases := map[float64]string{
+		math.NaN():   "NaN",
+		math.Inf(1):  "Inf",
+		math.Inf(-1): "Inf",
+		0:            "non-positive",
+		-3:           "non-positive",
+		1:            "",
+		42.5:         "",
+	}
+	for v, want := range cases {
+		if got := degenerateNote(v); got != want {
+			t.Errorf("degenerateNote(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+// TestGateDegenerateCurrent is the other direction: a broken CURRENT
+// artifact (zero p50, negative speedup, zero throughput and scaling)
+// must fail by name — a zero p50 "faster than baseline" or a zero
+// throughput with a vacuous ratio must never slip through the gate.
+func TestGateDegenerateCurrent(t *testing.T) {
+	base, cur := t.TempDir(), t.TempDir()
+	writeJSON(t, base, "BENCH_query.json", []experiments.QueryRow{queryRow("ar1", 100)})
+	writeJSON(t, cur, "BENCH_query.json", []experiments.QueryRow{queryRow("ar1", 0)}) // "faster than baseline", but broken
+	writeJSON(t, base, "BENCH_incremental.json", []experiments.IncrementalRow{incRow("ar1", 30)})
+	writeJSON(t, cur, "BENCH_incremental.json", []experiments.IncrementalRow{incRow("ar1", -2)})
+	writeJSON(t, base, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 4, 8, 1e6, 2.5)})
+	writeJSON(t, cur, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 4, 8, 0, 0)})
+	var out strings.Builder
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// query p50, incremental speedup, serve throughput, serve scaling.
+	if failures != 4 {
+		t.Fatalf("failures = %d, want 4 named degenerate-current failures\n%s", failures, out.String())
+	}
+	if got := strings.Count(out.String(), "degenerate current (non-positive)"); got != 4 {
+		t.Errorf("want 4 named degenerate-current notes, got %d in:\n%s", got, out.String())
+	}
+}
+
+// TestGatePrune covers the prune artifact: per-cell time regression,
+// the serial/parallel equality flag, and the speedup floor with its
+// small-host skip.
+func TestGatePrune(t *testing.T) {
+	base, cur := t.TempDir(), t.TempDir()
+	writeJSON(t, base, "BENCH_prune.json", []experiments.PruneRow{
+		pruneRow("dbp", "blast-wnp", 1, 8, 100*time.Millisecond, 1, true),
+		pruneRow("dbp", "blast-wnp", 4, 8, 40*time.Millisecond, 2.5, true),
+	})
+	writeJSON(t, cur, "BENCH_prune.json", []experiments.PruneRow{
+		pruneRow("dbp", "blast-wnp", 1, 8, 110*time.Millisecond, 1, true), // +10% < 25%
+		pruneRow("dbp", "blast-wnp", 4, 8, 44*time.Millisecond, 2.5, true),
+	})
+	var out strings.Builder
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("failures = %d within threshold\n%s", failures, out.String())
+	}
+
+	// Regressed time, a diverged parallel run, and a speedup below the
+	// floor: three named failures.
+	writeJSON(t, cur, "BENCH_prune.json", []experiments.PruneRow{
+		pruneRow("dbp", "blast-wnp", 1, 8, 200*time.Millisecond, 1, true),     // +100%
+		pruneRow("dbp", "blast-wnp", 4, 8, 150*time.Millisecond, 1.33, false), // diverged AND below floor
+	})
+	out.Reset()
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 4 {
+		t.Fatalf("failures = %d, want 4 (two times, equality, speedup floor)\n%s", failures, out.String())
+	}
+	if !strings.Contains(out.String(), "diverged from the serial scheme") {
+		t.Errorf("missing divergence note:\n%s", out.String())
+	}
+
+	// On a small host the speedup floor is skipped (parallelism-bound),
+	// but the equality flag still gates.
+	writeJSON(t, base, "BENCH_prune.json", []experiments.PruneRow{
+		pruneRow("dbp", "blast-wnp", 4, 1, 100*time.Millisecond, 0.9, true),
+	})
+	writeJSON(t, cur, "BENCH_prune.json", []experiments.PruneRow{
+		pruneRow("dbp", "blast-wnp", 4, 1, 100*time.Millisecond, 0.9, true),
+	})
+	out.Reset()
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("failures = %d on a parallelism-bound host\n%s", failures, out.String())
+	}
+	if !strings.Contains(out.String(), "speedup floor skipped") {
+		t.Errorf("missing skip note:\n%s", out.String())
+	}
+
+	// A baseline cell missing from the current run is a regression.
+	writeJSON(t, cur, "BENCH_prune.json", []experiments.PruneRow{
+		pruneRow("dbp", "cep", 4, 1, 100*time.Millisecond, 0.9, true),
+	})
+	out.Reset()
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1 for dropped cell\n%s", failures, out.String())
 	}
 }
 
@@ -138,7 +291,7 @@ func TestGateMalformedJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if _, err := run(&out, base, cur, 0.25, 2.0, 4); err == nil {
+	if _, err := run(&out, base, cur, 0.25, 2.0, 2.0, 4); err == nil {
 		t.Error("malformed baseline must error")
 	}
 }

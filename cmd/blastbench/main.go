@@ -7,7 +7,7 @@
 //	blastbench -exp all
 //
 // Experiments: table2 table3 table4 table5 table6 table7 fig5 fig8 fig9
-// fig10 endtoend scalability engines query incremental serve baselines
+// fig10 endtoend scalability engines query incremental prune serve baselines
 // standard all. -scale multiplies the per-dataset default sizes (see
 // internal/experiments); absolute metrics depend on it, comparative
 // structure does not. The engines experiment compares the edge-list and
@@ -18,7 +18,7 @@
 // Index.Insert and reports per-insert latency and the amortized speedup
 // over a cold rebuild; the serve experiment drives a mixed read/write
 // load against the sharded snapshot-swap Server across shard counts and
-// against the single-Index baseline. For all four, -json renders
+// against the single-Index baseline. For all five, -json renders
 // machine-readable JSON (the CI benchmark artifacts).
 package main
 
@@ -32,11 +32,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table2..table7, fig5, fig8, fig9, fig10, endtoend, scalability, engines, query, incremental, serve, baselines, all")
-	dataset := flag.String("dataset", "", "dataset for table4/table7/endtoend/engines/query/incremental (default: every applicable)")
+	exp := flag.String("exp", "all", "experiment id: table2..table7, fig5, fig8, fig9, fig10, endtoend, scalability, engines, query, incremental, prune, serve, baselines, all")
+	dataset := flag.String("dataset", "", "dataset for table4/table7/endtoend/engines/query/incremental/prune (default: every applicable)")
 	scale := flag.Float64("scale", 1, "scale multiplier over per-dataset defaults")
 	seed := flag.Uint64("seed", 42, "random seed")
-	jsonOut := flag.Bool("json", false, "render the engines/query/incremental experiments as JSON")
+	jsonOut := flag.Bool("json", false, "render the engines/query/incremental/prune/serve experiments as JSON")
 	flag.Parse()
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed}
@@ -206,6 +206,29 @@ func run(cfg experiments.Config, exp, dataset string, jsonOut bool) error {
 		}
 		fmt.Println("== Incremental: Index.Insert streaming vs cold rebuild ==")
 		fmt.Print(experiments.RenderIncremental(rows))
+	case "prune":
+		// dataset defaults to dbp (the largest registry dataset); the
+		// Pruning x Workers series is what the CI regression gate checks
+		// (per-cell prune time, the 4-worker speedup floor on multi-core
+		// hosts, and serial/parallel byte-equality).
+		name := dataset
+		rows, err := experiments.Prune(cfg, name)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			js, err := experiments.PruneJSON(rows)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(js))
+			return nil
+		}
+		if name == "" {
+			name = "dbp"
+		}
+		fmt.Println("== Prune: parallel streaming pruning vs serial ==")
+		fmt.Print(experiments.RenderPrune(name, rows))
 	case "serve":
 		// dataset defaults to dbp (the largest registry dataset) inside
 		// Serve; shard counts 1/2/4 give the scaling series the CI
@@ -244,7 +267,7 @@ func run(cfg experiments.Config, exp, dataset string, jsonOut bool) error {
 		fmt.Print(experiments.RenderStandard(rows))
 	case "all":
 		for _, e := range []string{"table2", "table3", "table4", "table5", "table6", "table7",
-			"fig5", "fig8", "fig9", "fig10", "endtoend", "scalability", "engines", "query", "incremental", "serve", "baselines", "standard"} {
+			"fig5", "fig8", "fig9", "fig10", "endtoend", "scalability", "engines", "query", "incremental", "prune", "serve", "baselines", "standard"} {
 			// Always the text rendering: interleaving one JSON array into
 			// the combined report would serve neither reader.
 			if err := run(cfg, e, dataset, false); err != nil {

@@ -117,16 +117,25 @@ func TestIncrementalEquivalenceMatrix(t *testing.T) {
 		metablocking.WNP2, metablocking.CNP1, metablocking.CNP2,
 		metablocking.BlastWNP,
 	}
+	// Workers cycles through the axis so every pruning runs both serial
+	// and parallel at least once; the contract demands byte-identical
+	// decisions at every value (the cold reference inside
+	// checkIndexEquivalence prunes under the same Workers).
+	workersAxis := []int{0, 1, 2, 4}
+	cfgN := 0
 	for _, ind := range []Induction{LMI, NoInduction} {
 		for _, scheme := range schemes {
 			for _, pruning := range prunings {
-				label := fmt.Sprintf("%v/%s/%v", ind, scheme.Name(), pruning)
+				workers := workersAxis[cfgN%len(workersAxis)]
+				cfgN++
+				label := fmt.Sprintf("%v/%s/%v/workers=%d", ind, scheme.Name(), pruning, workers)
 				rng := stats.NewRNG(uint64(len(label))*977 + 13)
 				ds := synthDirty(rng, 60)
 				opt := DefaultOptions()
 				opt.Induction = ind
 				opt.Scheme = scheme
 				opt.Pruning = pruning
+				opt.Workers = workers
 				p, err := NewPipeline(opt)
 				if err != nil {
 					t.Fatal(err)
@@ -185,6 +194,7 @@ func TestIncrementalEquivalenceRandom(t *testing.T) {
 			opt.Engine = metablocking.NodeCentric // ignored by the index; part of the axis anyway
 		}
 		opt.C = []float64{1, 2, 4}[rng.Intn(3)]
+		opt.Workers = []int{0, 1, 2, 4}[rng.Intn(4)]
 		switch rng.Intn(3) {
 		case 0:
 			// Aggressive compaction: overlay folded almost every batch.

@@ -220,14 +220,15 @@ func freezeDecisions(ctx context.Context, csr *graph.CSR, opt Options) ([]model.
 // nodeThresholds materializes the per-node pruning thresholds theta_i
 // for the threshold-based schemes through the same prune reducers the
 // retention decision used (one extra O(E) pass over the adjacency
-// weights — small next to the graph build). Global and cardinality
+// weights — small next to the graph build), parallelized over
+// Options.Workers like the pruning itself. Global and cardinality
 // schemes have no per-node threshold and yield nil.
 func nodeThresholds(ctx context.Context, csr *graph.CSR, opt Options) ([]float64, error) {
 	switch opt.Pruning {
 	case metablocking.BlastWNP:
-		return prune.BlastThresholds(ctx, csr, opt.C)
+		return prune.BlastThresholds(ctx, csr, opt.C, opt.Workers)
 	case metablocking.WNP1, metablocking.WNP2:
-		return prune.MeanThresholds(ctx, csr)
+		return prune.MeanThresholds(ctx, csr, opt.Workers)
 	default:
 		return nil, nil
 	}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestPruneExperiment smoke-runs the parallel-pruning experiment at a
+// tiny scale: full Pruning x Workers grid, every parallel cell equal to
+// its serial run, JSON artifact round-trips.
+func TestPruneExperiment(t *testing.T) {
+	rows, err := Prune(Config{Scale: 0.02, Seed: 7}, "ar1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(prunePrunings) * len(pruneWorkerCounts); len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if !r.EqualSerial {
+			t.Errorf("%s/%s workers=%d diverged from serial", r.Dataset, r.Pruning, r.Workers)
+		}
+		if r.Workers == 1 && r.SpeedupVs1 != 1 {
+			t.Errorf("%s serial row speedup = %v", r.Pruning, r.SpeedupVs1)
+		}
+		if r.Edges <= 0 || r.PruneTime <= 0 {
+			t.Errorf("degenerate row: %+v", r)
+		}
+	}
+	js, err := PruneJSON(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []PruneRow
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatalf("artifact does not round-trip: %v", err)
+	}
+	if len(back) != len(rows) {
+		t.Fatalf("round-trip rows = %d, want %d", len(back), len(rows))
+	}
+	out := RenderPrune("ar1", rows)
+	for _, want := range []string{"blast-wnp", "wep", "cep", "cnp1", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -175,3 +175,25 @@ func TestCutRangesCoverAndBalance(t *testing.T) {
 		}
 	}
 }
+
+// TestMirrorEntryMatchesCursor pins the two sanctioned mirror
+// accessors to each other: the binary-search MirrorEntry must locate
+// exactly the entry the CanonicalMirror cursor sweep yields, for every
+// edge, in both directions.
+func TestMirrorEntryMatchesCursor(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		rng := stats.NewRNG(seed * 31337)
+		for _, kind := range []model.Kind{model.Dirty, model.CleanClean} {
+			c := blocking.RandomCollection(rng, kind, 30+rng.Intn(50), 25+rng.Intn(25))
+			g := BuildCSR(c)
+			g.CanonicalMirror(func(u, v int32, p, mp int64) {
+				if got := g.MirrorEntry(u, v); got != mp {
+					t.Fatalf("MirrorEntry(%d,%d) = %d, cursor says %d", u, v, got, mp)
+				}
+				if got := g.MirrorEntry(v, u); got != p {
+					t.Fatalf("MirrorEntry(%d,%d) = %d, canonical entry is %d", v, u, got, p)
+				}
+			})
+		}
+	}
+}

@@ -8,6 +8,7 @@ package metablocking
 // engines purely on resource considerations.
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -46,8 +47,14 @@ func samePairs(t *testing.T, label string, want, got []model.IDPair) {
 	}
 }
 
-// checkEngineEquivalence runs one configuration through all four
-// execution paths and asserts identical output.
+// engineWorkersAxis is the Workers matrix the node-centric engine is
+// held to: automatic (0 = GOMAXPROCS), serial, and explicit counts —
+// graph build AND pruning must be byte-identical at every value.
+var engineWorkersAxis = []int{0, 1, 2, 4}
+
+// checkEngineEquivalence runs one configuration through every execution
+// path — edge-list serial and parallel, node-centric across the full
+// Workers axis — and asserts identical output.
 func checkEngineEquivalence(t *testing.T, c *blocking.Collection, cfg Config) {
 	t.Helper()
 	base := cfg
@@ -62,16 +69,16 @@ func checkEngineEquivalence(t *testing.T, c *blocking.Collection, cfg Config) {
 
 	stream := base
 	stream.Engine = NodeCentric
-	samePairs(t, label+" node-centric", want.Pairs, Run(c, stream).Pairs)
-
-	streamPar := stream
-	streamPar.Workers = 3
-	samePairs(t, label+" node-centric-parallel", want.Pairs, Run(c, streamPar).Pairs)
+	for _, workers := range engineWorkersAxis {
+		stream.Workers = workers
+		samePairs(t, fmt.Sprintf("%s node-centric workers=%d", label, workers),
+			want.Pairs, Run(c, stream).Pairs)
+	}
 }
 
 // TestEngineEquivalenceRandomized is the property harness of the issue:
-// seeded random collections, every Pruning x Scheme combination, four
-// execution paths, byte-identical results.
+// seeded random collections, every Workers x Pruning x Scheme
+// combination across both engines, byte-identical results.
 func TestEngineEquivalenceRandomized(t *testing.T) {
 	schemes := allSchemes()
 	for seed := uint64(1); seed <= 3; seed++ {

@@ -125,15 +125,17 @@ type Config struct {
 	D float64
 	// K overrides the cardinality of CEP/CNP; <= 0 uses their defaults.
 	K int
-	// Workers parallelizes blocking-graph construction: 0 uses one
-	// worker per CPU (GOMAXPROCS), 1 builds serially, >1 uses exactly
-	// that many goroutines. Output is identical either way. For the
-	// EdgeList engine the automatic default only engages on collections
-	// with at least ~4M aggregate comparisons: its sharded builder makes
-	// every worker scan every pair, so parallelism below that scale
-	// multiplies CPU for little wall-clock gain (an explicit Workers > 1
-	// is always honored). The NodeCentric builder partitions work
-	// without duplication and parallelizes at any scale.
+	// Workers parallelizes blocking-graph construction and, on the
+	// NodeCentric path, the streaming pruning passes (see PruneCSR): 0
+	// uses one worker per CPU (GOMAXPROCS), 1 runs serially, >1 uses
+	// exactly that many goroutines. Output is byte-identical either way.
+	// For the EdgeList engine the automatic default only engages on
+	// collections with at least ~4M aggregate comparisons: its sharded
+	// builder makes every worker scan every pair, so parallelism below
+	// that scale multiplies CPU for little wall-clock gain (an explicit
+	// Workers > 1 is always honored). The NodeCentric builder partitions
+	// work without duplication and parallelizes at any scale, as do the
+	// pruning passes.
 	Workers int
 	// OnStage, when non-nil, is invoked synchronously as each internal
 	// stage of a run completes ("graph", "weight", "prune") with the
@@ -240,24 +242,27 @@ func pruneGraph(g *graph.Graph, cfg Config) []int {
 // emitting the retained pairs directly in canonical order. It is the
 // streaming counterpart of the edge-list pruning dispatch and is exported
 // for consumers (the candidate-serving index) that weight a CSR
-// themselves and only need the retention decision. Cancellation is
-// observed at the granularity of the underlying streaming schemes.
+// themselves and only need the retention decision. Cfg.Workers selects
+// the pruning parallelism (0 = GOMAXPROCS, 1 = serial); the retained
+// pairs are byte-identical at every worker count. Cancellation is
+// observed at the edge-segment granularity of the streaming schemes.
 func PruneCSR(ctx context.Context, g *graph.CSR, cfg Config) ([]model.IDPair, error) {
+	workers := cfg.Workers
 	switch cfg.Pruning {
 	case WEP:
-		return prune.WEPStream(ctx, g)
+		return prune.WEPStream(ctx, g, workers)
 	case CEP:
-		return prune.CEPStream(ctx, g, cfg.K)
+		return prune.CEPStream(ctx, g, cfg.K, workers)
 	case WNP1:
-		return prune.WNPStream(ctx, g, prune.Redefined)
+		return prune.WNPStream(ctx, g, prune.Redefined, workers)
 	case WNP2:
-		return prune.WNPStream(ctx, g, prune.Reciprocal)
+		return prune.WNPStream(ctx, g, prune.Reciprocal, workers)
 	case CNP1:
-		return prune.CNPStream(ctx, g, cfg.K, prune.Redefined)
+		return prune.CNPStream(ctx, g, cfg.K, prune.Redefined, workers)
 	case CNP2:
-		return prune.CNPStream(ctx, g, cfg.K, prune.Reciprocal)
+		return prune.CNPStream(ctx, g, cfg.K, prune.Reciprocal, workers)
 	case BlastWNP:
-		return prune.BlastWNPStream(ctx, g, cfg.C, cfg.D)
+		return prune.BlastWNPStream(ctx, g, cfg.C, cfg.D, workers)
 	default:
 		panic(fmt.Sprintf("metablocking: unknown pruning %d", int(cfg.Pruning)))
 	}

@@ -83,17 +83,38 @@ func retained(keep []bool) []int {
 	return out
 }
 
+// canonicalWeightSum sums the weights of a canonically sorted edge list
+// with the fixed-chunk reduction of the streaming schemes: one partial
+// per node chunk of the smaller endpoint, partials combined in chunk
+// order. It is bit-identical to chunkPartialSums+combinePartials over
+// the CSR form of the same graph, which is what keeps the edge-list and
+// streaming WEP byte-identical at every worker count (the chunk
+// boundaries depend only on NumProfiles, never on workers).
+func canonicalWeightSum(edges []graph.Edge) float64 {
+	sum, partial := 0.0, 0.0
+	chunk := -1
+	for i := range edges {
+		if c := int(edges[i].U) / chunkNodes; c != chunk {
+			if chunk >= 0 {
+				sum += partial
+			}
+			partial, chunk = 0, c
+		}
+		partial += edges[i].Weight
+	}
+	if chunk >= 0 {
+		sum += partial
+	}
+	return sum
+}
+
 // WEP (Weight Edge Pruning) discards every edge whose weight is below
 // the global threshold Theta = the mean edge weight.
 func WEP(g *graph.Graph) []int {
 	if len(g.Edges) == 0 {
 		return nil
 	}
-	sum := 0.0
-	for i := range g.Edges {
-		sum += g.Edges[i].Weight
-	}
-	theta := sum / float64(len(g.Edges))
+	theta := canonicalWeightSum(g.Edges) / float64(len(g.Edges))
 	keep := make([]bool, len(g.Edges))
 	for i := range g.Edges {
 		w := g.Edges[i].Weight

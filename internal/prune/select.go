@@ -1,0 +1,161 @@
+// Histogram-cut selection for CEP: find the k-th largest edge weight
+// (the cut) and the count of edges strictly above it without ever
+// materializing the O(|E|) weight array the old CEPStream sorted.
+//
+// Weights are mapped onto order-preserving 64-bit keys and the cut key
+// is located by MSB-first 16-bit histogram passes: a pass counts the
+// candidate keys into 2^16 fixed-boundary buckets (tracking per-bucket
+// key min/max), the bucket containing the k-th largest key becomes the
+// new candidate prefix, and the refinement stops as soon as the cut
+// bucket holds a single distinct key — immediately, in the common case
+// of massive ties at the cut — or after at most four passes, when the
+// full 64 bits are resolved. Scratch is O(2^16) per worker regardless
+// of |E|.
+//
+// Counting passes parallelize over the fixed node chunks; histogram
+// counts and key min/max merge commutatively, so the selected cut is
+// byte-identical for every worker count (determinism rule 3 of
+// parallel.go).
+package prune
+
+import (
+	"context"
+	"math"
+
+	"blast/internal/graph"
+)
+
+const (
+	selBucketBits = 16
+	selBuckets    = 1 << selBucketBits
+	selBucketMask = selBuckets - 1
+)
+
+// weightKey maps a float64 weight onto a uint64 whose unsigned order
+// matches the float order. Both zeros collapse onto +0 so key equality
+// matches float equality (the tie rule compares floats); NaNs map to
+// the smallest key, mirroring their position under sort.Float64s.
+func weightKey(w float64) uint64 {
+	if math.IsNaN(w) {
+		return 0
+	}
+	if w == 0 {
+		w = 0 // collapse -0 onto +0
+	}
+	b := math.Float64bits(w)
+	if b&(1<<63) != 0 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+// keyWeight inverts weightKey for keys produced from non-NaN weights.
+func keyWeight(k uint64) float64 {
+	if k&(1<<63) != 0 {
+		return math.Float64frombits(k &^ (1 << 63))
+	}
+	return math.Float64frombits(^k)
+}
+
+// selHist is one worker's histogram of a counting pass.
+type selHist struct {
+	counts [selBuckets]int64
+	kmin   [selBuckets]uint64
+	kmax   [selBuckets]uint64
+}
+
+func (h *selHist) reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+		h.kmin[i] = ^uint64(0)
+		h.kmax[i] = 0
+	}
+}
+
+// selectCut returns the k-th largest canonical edge weight of the graph
+// (callers guarantee 1 <= k <= NumEdges), the number of edges whose
+// weight is strictly greater — exactly the cut and `greater` the
+// sort-based CEPStream derived from its flat weight array — and the
+// total number of edges tying exactly at the cut (the final cut
+// bucket's population, free from the selection's own bookkeeping; the
+// caller uses it to skip tie-ordinal accounting when every tie or no
+// tie fits the budget).
+func selectCut(ctx context.Context, g *graph.CSR, workers, k int) (cut float64, greater, ties int, err error) {
+	nch := numChunks(g.NumProfiles)
+	nw := pruneWorkerCount(workers, nch)
+	hists := make([]*selHist, nw)
+	for i := range hists {
+		hists[i] = &selHist{}
+	}
+
+	rank := int64(k) // rank of the cut within the candidate set, from the top
+	above := int64(0)
+	prefix := uint64(0) // candidates satisfy key>>(shift+16) == prefix
+	for shift := uint(48); ; shift -= selBucketBits {
+		for _, h := range hists {
+			h.reset()
+		}
+		// One counting pass over the candidate keys. hists[w.id] belongs
+		// to its goroutine alone; the merge below is commutative, so the
+		// racy chunk assignment cannot influence the outcome.
+		err := runChunks(ctx, workers, nch, func(w *pruneWorker, chunk int) error {
+			h := hists[w.id]
+			return forChunkCanonical(g, w, chunk, func(_, _ int32, p int64) {
+				key := weightKey(g.Weights[p])
+				if key>>(shift+selBucketBits) != prefix {
+					return
+				}
+				b := (key >> shift) & selBucketMask
+				h.counts[b]++
+				if key < h.kmin[b] {
+					h.kmin[b] = key
+				}
+				if key > h.kmax[b] {
+					h.kmax[b] = key
+				}
+			})
+		})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		merged := hists[0]
+		for _, h := range hists[1:] {
+			for b := 0; b < selBuckets; b++ {
+				if h.counts[b] == 0 {
+					continue
+				}
+				merged.counts[b] += h.counts[b]
+				if h.kmin[b] < merged.kmin[b] {
+					merged.kmin[b] = h.kmin[b]
+				}
+				if h.kmax[b] > merged.kmax[b] {
+					merged.kmax[b] = h.kmax[b]
+				}
+			}
+		}
+		// Find the bucket holding the rank-th largest candidate key.
+		cum := int64(0)
+		b := selBuckets - 1
+		for ; b > 0; b-- {
+			if c := merged.counts[b]; c > 0 {
+				cum += c
+				if cum >= rank {
+					break
+				}
+			}
+		}
+		if b == 0 {
+			cum += merged.counts[0]
+		}
+		above += cum - merged.counts[b]
+		rank -= cum - merged.counts[b]
+		if merged.kmin[b] == merged.kmax[b] || shift == 0 {
+			// Every remaining candidate in the cut bucket carries the same
+			// key (always true at shift 0, where a bucket is one exact
+			// key): it is the cut, nothing inside it ties above, and the
+			// bucket's population is the global tie count.
+			return keyWeight(merged.kmin[b]), int(above), int(merged.counts[b]), nil
+		}
+		prefix = prefix<<selBucketBits | uint64(b)
+	}
+}

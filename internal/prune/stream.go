@@ -3,59 +3,58 @@
 // indexes into Graph.Edges, these consume graph.CSR — where no edge list
 // exists — and emit the retained pairs directly, in canonical (u, v)
 // order. For every scheme the retained set is identical to its edge-list
-// counterpart; the node-centric schemes run in two passes (thresholds
-// from each node's adjacency run, then retention), and even the global
-// schemes WEP/CEP need only an O(|E|) scalar scratch rather than a
-// materialized edge list.
+// counterpart.
+//
+// Every streaming scheme runs its passes — per-node thresholds, top-k
+// marking, histogram counting, retention emission — over the fixed node
+// chunks of parallel.go on `workers` goroutines (0 selects GOMAXPROCS),
+// and the output is byte-identical for every worker count: chunk
+// boundaries are a pure function of the node count, per-chunk float
+// partials are combined in chunk order, and per-chunk output buffers
+// are stitched in canonical order. Even the global schemes WEP/CEP now
+// run in O(adjacency-run) scratch: WEP's mean is a chunked sum and
+// CEP's cut comes from the bounded histogram selection of select.go
+// instead of a flat O(|E|) weight sort.
 //
 // Every streaming scheme takes a context and supports cooperative
-// cancellation: each pass polls ctx at node-chunk granularity (via the
-// CSR's ctx-aware iterators) and returns ctx.Err() as soon as
-// cancellation is observed, discarding partial output.
+// cancellation: each pass polls ctx at edge-segment granularity — even
+// inside a single hub node's adjacency run — and returns ctx.Err() as
+// soon as cancellation is observed, discarding partial output.
 package prune
 
 import (
 	"context"
 	"slices"
-	"sort"
 
 	"blast/internal/graph"
 	"blast/internal/model"
 )
 
-// streamCancelCheckEvery is the node-chunk granularity at which the
-// pruning passes that iterate nodes directly poll for cancellation.
-const streamCancelCheckEvery = 1024
-
 // WEPStream is WEP over the CSR graph: discard every edge whose weight
-// is below the mean edge weight.
-func WEPStream(ctx context.Context, g *graph.CSR) ([]model.IDPair, error) {
+// is below the mean edge weight. The mean's numerator is the chunked
+// canonical weight sum (combined in chunk order), shared bit for bit
+// with the edge-list WEP.
+func WEPStream(ctx context.Context, g *graph.CSR, workers int) ([]model.IDPair, error) {
 	if g.NumEdges() == 0 {
 		return nil, ctx.Err()
 	}
-	sum := 0.0
-	if err := g.CanonicalCtx(ctx, func(_, _ int32, p int64) { sum += g.Weights[p] }); err != nil {
-		return nil, err
-	}
-	theta := sum / float64(g.NumEdges())
-	var out []model.IDPair
-	err := g.CanonicalCtx(ctx, func(u, v int32, p int64) {
-		if w := g.Weights[p]; w >= theta && w > 0 {
-			out = append(out, model.IDPair{U: u, V: v})
-		}
-	})
+	sums, counts, err := chunkPartialSums(ctx, g, workers)
 	if err != nil {
 		return nil, err
 	}
-	return out, nil
+	theta := combinePartials(sums, counts) / float64(g.NumEdges())
+	return emitChunked(ctx, g, workers, func(_, _ int32, p int64) bool {
+		return g.Weights[p] >= theta
+	})
 }
 
 // CEPStream is CEP over the CSR graph: retain the globally top-k edges
 // by weight (k <= 0 uses the block-membership budget), breaking ties at
 // the cut in favor of canonically smaller pairs — the same tie rule as
-// the stable sort of the edge-list CEP. Only a flat weight scratch is
-// allocated, never the edges themselves.
-func CEPStream(ctx context.Context, g *graph.CSR, k int) ([]model.IDPair, error) {
+// the stable sort of the edge-list CEP. The cut is located by the
+// bounded histogram selection of select.go; no O(|E|) weight scratch is
+// ever allocated.
+func CEPStream(ctx context.Context, g *graph.CSR, k, workers int) ([]model.IDPair, error) {
 	ne := g.NumEdges()
 	if ne == 0 {
 		return nil, ctx.Err()
@@ -69,51 +68,153 @@ func CEPStream(ctx context.Context, g *graph.CSR, k int) ([]model.IDPair, error)
 	if k <= 0 {
 		return nil, ctx.Err()
 	}
-	ws := make([]float64, 0, ne)
-	if err := g.CanonicalCtx(ctx, func(_, _ int32, p int64) { ws = append(ws, g.Weights[p]) }); err != nil {
+	cut, greater, ties, err := selectCut(ctx, g, workers, k)
+	if err != nil {
 		return nil, err
 	}
-	sort.Float64s(ws)
-	// The cut weight and how many budget slots remain for edges that tie
-	// with it; edges strictly above the cut are always in.
-	cut := ws[ne-k]
-	greater := ne - sort.Search(ne, func(i int) bool { return ws[i] > cut })
-	rem := k - greater
-	var out []model.IDPair
-	err := g.CanonicalCtx(ctx, func(u, v int32, p int64) {
-		w := g.Weights[p]
-		take := w > cut
-		if !take && w == cut && rem > 0 {
-			take = true
-			rem-- // ties consume budget slots even if zero-filtered below
-		}
-		if take && w > 0 {
-			out = append(out, model.IDPair{U: u, V: v})
-		}
+	// How many budget slots remain for edges that tie with the cut;
+	// edges strictly above it are always in. Ties consume their slots in
+	// canonical order (and even when zero-filtered below). When the
+	// budget covers every tie — the common case of distinct weights,
+	// where the single tie IS the k-th edge — or covers none, no
+	// per-edge tie ordinal is needed and one emission pass suffices.
+	rem := int64(k - greater)
+	if rem >= int64(ties) {
+		return emitChunked(ctx, g, workers, func(_, _ int32, p int64) bool {
+			return g.Weights[p] >= cut
+		})
+	}
+	if rem <= 0 {
+		return emitChunked(ctx, g, workers, func(_, _ int32, p int64) bool {
+			return g.Weights[p] > cut
+		})
+	}
+	// Partial tie budget: count ties per chunk, prefix-sum the counts in
+	// chunk order to give every chunk its starting tie ordinal, then
+	// emit.
+	nch := numChunks(g.NumProfiles)
+	tiesPerChunk := make([]int64, nch)
+	err = runChunks(ctx, workers, nch, func(w *pruneWorker, chunk int) error {
+		n := int64(0)
+		err := forChunkCanonical(g, w, chunk, func(_, _ int32, p int64) {
+			if g.Weights[p] == cut {
+				n++
+			}
+		})
+		tiesPerChunk[chunk] = n
+		return err
 	})
 	if err != nil {
 		return nil, err
 	}
-	return out, nil
+	tieBase := make([]int64, nch)
+	base := int64(0)
+	for i, n := range tiesPerChunk {
+		tieBase[i] = base
+		base += n
+	}
+	bufs := make([][]model.IDPair, nch)
+	err = runChunks(ctx, workers, nch, func(w *pruneWorker, chunk int) error {
+		tie := tieBase[chunk]
+		var out []model.IDPair
+		err := forChunkCanonical(g, w, chunk, func(u, v int32, p int64) {
+			wt := g.Weights[p]
+			take := wt > cut
+			if !take && wt == cut {
+				take = tie < rem
+				tie++
+			}
+			if take && wt > 0 {
+				out = append(out, model.IDPair{U: u, V: v})
+			}
+		})
+		bufs[chunk] = out
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return stitchPairs(bufs), nil
+}
+
+// runReducer reduces one adjacency run to a per-node threshold, polling
+// the worker's cancellation budget between edge segments. Implementations
+// must be bit-identical to their whole-run counterparts (MeanThresholdOf,
+// BlastThresholdOf): segmentation pauses the loop, it never reorders the
+// arithmetic.
+type runReducer func(w *pruneWorker, ws []float64) (float64, error)
+
+// meanReducer is MeanThresholdOf with in-run cancellation polls.
+func meanReducer(w *pruneWorker, ws []float64) (float64, error) {
+	n := len(ws)
+	s := 0.0
+	for len(ws) > 0 {
+		seg := len(ws)
+		if seg > streamCancelCheckEdges {
+			seg = streamCancelCheckEdges
+		}
+		for _, x := range ws[:seg] {
+			s += x
+		}
+		ws = ws[seg:]
+		if err := w.tick(seg); err != nil {
+			return 0, err
+		}
+	}
+	return s / float64(n), nil
+}
+
+// blastReducer is BlastThresholdOf with in-run cancellation polls.
+func blastReducer(c float64) runReducer {
+	if c <= 0 {
+		c = 2
+	}
+	return func(w *pruneWorker, ws []float64) (float64, error) {
+		m := ws[0]
+		for len(ws) > 0 {
+			seg := len(ws)
+			if seg > streamCancelCheckEdges {
+				seg = streamCancelCheckEdges
+			}
+			for _, x := range ws[:seg] {
+				if x > m {
+					m = x
+				}
+			}
+			ws = ws[seg:]
+			if err := w.tick(seg); err != nil {
+				return 0, err
+			}
+		}
+		return m / c, nil
+	}
 }
 
 // nodeThresholdsCSR computes a per-node threshold by reducing each
-// node's adjacent weights; nodes without edges get 0. The run is passed
-// in adjacency order, matching the edge-list nodeThresholds. Polls ctx
-// at node-chunk granularity.
-func nodeThresholdsCSR(ctx context.Context, g *graph.CSR, reduce func(ws []float64) float64) ([]float64, error) {
+// node's adjacent weights; nodes without edges get 0. Each run is
+// reduced in adjacency order, matching the edge-list nodeThresholds.
+// Chunks run on `workers` goroutines, writing disjoint index ranges of
+// the result; the values are per-node, so the worker count cannot
+// change a single bit.
+func nodeThresholdsCSR(ctx context.Context, g *graph.CSR, workers int, reduce runReducer) ([]float64, error) {
 	th := make([]float64, g.NumProfiles)
-	for n := 0; n < g.NumProfiles; n++ {
-		if n%streamCancelCheckEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
+	err := runChunks(ctx, workers, numChunks(g.NumProfiles), func(w *pruneWorker, chunk int) error {
+		lo, hi := chunkBounds(chunk, g.NumProfiles)
+		for n := lo; n < hi; n++ {
+			rlo, rhi := g.Offsets[n], g.Offsets[n+1]
+			if rlo == rhi {
+				continue
 			}
+			v, err := reduce(w, g.Weights[rlo:rhi])
+			if err != nil {
+				return err
+			}
+			th[n] = v
 		}
-		lo, hi := g.Offsets[n], g.Offsets[n+1]
-		if lo == hi {
-			continue
-		}
-		th[n] = reduce(g.Weights[lo:hi])
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return th, nil
 }
@@ -154,29 +255,31 @@ func BlastThresholdOf(ws []float64, c float64) float64 {
 // MeanThresholds returns WNP's per-node thresholds over the CSR graph:
 // the mean adjacent weight of every node (0 for edgeless nodes). It is
 // the exact reducer WNPStream prunes with, exported so index consumers
-// expose the same values the retention decision used.
-func MeanThresholds(ctx context.Context, g *graph.CSR) ([]float64, error) {
-	return nodeThresholdsCSR(ctx, g, MeanThresholdOf)
+// expose the same values the retention decision used. workers selects
+// the goroutine count (0 = GOMAXPROCS); the values are identical either
+// way.
+func MeanThresholds(ctx context.Context, g *graph.CSR, workers int) ([]float64, error) {
+	return nodeThresholdsCSR(ctx, g, workers, meanReducer)
 }
 
 // BlastThresholds returns BLAST's per-node thresholds theta_i = M_i/c
 // over the CSR graph (0 for edgeless nodes; c <= 0 defaults to 2). It is
 // the exact reducer BlastWNPStream prunes with, exported so index
-// consumers expose the same values the retention decision used.
-func BlastThresholds(ctx context.Context, g *graph.CSR, c float64) ([]float64, error) {
-	return nodeThresholdsCSR(ctx, g, func(ws []float64) float64 {
-		return BlastThresholdOf(ws, c)
-	})
+// consumers expose the same values the retention decision used. workers
+// selects the goroutine count (0 = GOMAXPROCS); the values are identical
+// either way.
+func BlastThresholds(ctx context.Context, g *graph.CSR, c float64, workers int) ([]float64, error) {
+	return nodeThresholdsCSR(ctx, g, workers, blastReducer(c))
 }
 
 // WNPStream is WNP over the CSR graph: per-node mean-weight thresholds,
 // resolved per edge according to mode.
-func WNPStream(ctx context.Context, g *graph.CSR, mode Mode) ([]model.IDPair, error) {
-	th, err := MeanThresholds(ctx, g)
+func WNPStream(ctx context.Context, g *graph.CSR, mode Mode, workers int) ([]model.IDPair, error) {
+	th, err := MeanThresholds(ctx, g, workers)
 	if err != nil {
 		return nil, err
 	}
-	return emitByThreshold(ctx, g, func(w, thU, thV float64) bool {
+	return emitByThreshold(ctx, g, workers, func(w, thU, thV float64) bool {
 		overU := w >= thU
 		overV := w >= thV
 		if mode == Redefined {
@@ -188,15 +291,15 @@ func WNPStream(ctx context.Context, g *graph.CSR, mode Mode) ([]model.IDPair, er
 
 // BlastWNPStream is BLAST's pruning (Section 3.3.2) over the CSR graph:
 // theta_i = M_i / c per node, retain iff w >= (theta_u + theta_v) / d.
-func BlastWNPStream(ctx context.Context, g *graph.CSR, c, d float64) ([]model.IDPair, error) {
+func BlastWNPStream(ctx context.Context, g *graph.CSR, c, d float64, workers int) ([]model.IDPair, error) {
 	if d <= 0 {
 		d = 2
 	}
-	th, err := BlastThresholds(ctx, g, c)
+	th, err := BlastThresholds(ctx, g, c, workers)
 	if err != nil {
 		return nil, err
 	}
-	return emitByThreshold(ctx, g, func(w, thU, thV float64) bool {
+	return emitByThreshold(ctx, g, workers, func(w, thU, thV float64) bool {
 		return w >= (thU+thV)/d
 	}, th)
 }
@@ -204,28 +307,20 @@ func BlastWNPStream(ctx context.Context, g *graph.CSR, c, d float64) ([]model.ID
 // emitByThreshold runs the retention pass shared by the weight-based
 // node-centric schemes: every positive-weight canonical edge is tested
 // against its endpoints' thresholds.
-func emitByThreshold(ctx context.Context, g *graph.CSR, keep func(w, thU, thV float64) bool, th []float64) ([]model.IDPair, error) {
-	var out []model.IDPair
-	err := g.CanonicalCtx(ctx, func(u, v int32, p int64) {
-		w := g.Weights[p]
-		if w <= 0 {
-			return
-		}
-		if keep(w, th[u], th[v]) {
-			out = append(out, model.IDPair{U: u, V: v})
-		}
+func emitByThreshold(ctx context.Context, g *graph.CSR, workers int, keep func(w, thU, thV float64) bool, th []float64) ([]model.IDPair, error) {
+	return emitChunked(ctx, g, workers, func(u, v int32, p int64) bool {
+		return keep(g.Weights[p], th[u], th[v])
 	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
 }
 
 // CNPStream is CNP over the CSR graph: each node marks its top-k
 // adjacent edges by weight (stable on the adjacency order, like the
 // edge-list CNP), and an edge is retained if the marks of its endpoints
-// satisfy the mode.
-func CNPStream(ctx context.Context, g *graph.CSR, k int, mode Mode) ([]model.IDPair, error) {
+// satisfy the mode. The mark pass writes only positions inside its
+// chunk's runs, so chunks never race; the retention pass locates each
+// edge's mirror entry by binary search instead of the serial cursor
+// sweep, which lets chunks resolve marks independently.
+func CNPStream(ctx context.Context, g *graph.CSR, k int, mode Mode, workers int) ([]model.IDPair, error) {
 	if g.NumEdges() == 0 {
 		return nil, ctx.Err()
 	}
@@ -236,55 +331,55 @@ func CNPStream(ctx context.Context, g *graph.CSR, k int, mode Mode) ([]model.IDP
 		}
 	}
 	mark := make([]bool, len(g.Neighbors))
-	var order []int64
-	for n := 0; n < g.NumProfiles; n++ {
-		if n%streamCancelCheckEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
+	err := runChunks(ctx, workers, numChunks(g.NumProfiles), func(w *pruneWorker, chunk int) error {
+		lo, hi := chunkBounds(chunk, g.NumProfiles)
+		for n := lo; n < hi; n++ {
+			rlo, rhi := g.Offsets[n], g.Offsets[n+1]
+			if rlo == rhi {
+				continue
+			}
+			order := w.order[:0]
+			for p := rlo; p < rhi; {
+				seg := rhi - p
+				if seg > streamCancelCheckEdges {
+					seg = streamCancelCheckEdges
+				}
+				for stop := p + seg; p < stop; p++ {
+					order = append(order, p)
+				}
+				w.order = order
+				if err := w.tick(int(seg)); err != nil {
+					return err
+				}
+			}
+			slices.SortStableFunc(order, func(a, b int64) int {
+				switch wa, wb := g.Weights[a], g.Weights[b]; {
+				case wa > wb:
+					return -1
+				case wa < wb:
+					return 1
+				default:
+					return 0
+				}
+			})
+			limit := k
+			if limit > len(order) {
+				limit = len(order)
+			}
+			for _, p := range order[:limit] {
+				mark[p] = true
 			}
 		}
-		lo, hi := g.Offsets[n], g.Offsets[n+1]
-		if lo == hi {
-			continue
-		}
-		order = order[:0]
-		for p := lo; p < hi; p++ {
-			order = append(order, p)
-		}
-		slices.SortStableFunc(order, func(a, b int64) int {
-			switch wa, wb := g.Weights[a], g.Weights[b]; {
-			case wa > wb:
-				return -1
-			case wa < wb:
-				return 1
-			default:
-				return 0
-			}
-		})
-		limit := k
-		if limit > len(order) {
-			limit = len(order)
-		}
-		for _, p := range order[:limit] {
-			mark[p] = true
-		}
-	}
-
-	var out []model.IDPair
-	err := g.CanonicalMirrorCtx(ctx, func(u, v int32, p, mp int64) {
-		if g.Weights[p] <= 0 {
-			return
-		}
-		keep := mark[p] || mark[mp]
-		if mode == Reciprocal {
-			keep = mark[p] && mark[mp]
-		}
-		if keep {
-			out = append(out, model.IDPair{U: u, V: v})
-		}
+		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return out, nil
+	return emitChunked(ctx, g, workers, func(u, v int32, p int64) bool {
+		mp := g.MirrorEntry(u, v)
+		if mode == Reciprocal {
+			return mark[p] && mark[mp]
+		}
+		return mark[p] || mark[mp]
+	})
 }

@@ -73,16 +73,16 @@ func TestStreamMatchesEdgeListOnRandomCollections(t *testing.T) {
 			} {
 				g, csr := weightedPairReps(c, s)
 				label := fmt.Sprintf("seed=%d kind=%v %s", seed, kind, s.Name())
-				comparePairs(t, label+" wep", pairsOf(g, WEP(g)), must(WEPStream(ctx, csr)))
-				comparePairs(t, label+" cep", pairsOf(g, CEP(g, 0)), must(CEPStream(ctx, csr, 0)))
-				comparePairs(t, label+" cep5", pairsOf(g, CEP(g, 5)), must(CEPStream(ctx, csr, 5)))
+				comparePairs(t, label+" wep", pairsOf(g, WEP(g)), must(WEPStream(ctx, csr, 1)))
+				comparePairs(t, label+" cep", pairsOf(g, CEP(g, 0)), must(CEPStream(ctx, csr, 0, 1)))
+				comparePairs(t, label+" cep5", pairsOf(g, CEP(g, 5)), must(CEPStream(ctx, csr, 5, 1)))
 				for _, mode := range []Mode{Redefined, Reciprocal} {
-					comparePairs(t, label+" wnp", pairsOf(g, WNP(g, mode)), must(WNPStream(ctx, csr, mode)))
-					comparePairs(t, label+" cnp", pairsOf(g, CNP(g, 0, mode)), must(CNPStream(ctx, csr, 0, mode)))
-					comparePairs(t, label+" cnp2", pairsOf(g, CNP(g, 2, mode)), must(CNPStream(ctx, csr, 2, mode)))
+					comparePairs(t, label+" wnp", pairsOf(g, WNP(g, mode)), must(WNPStream(ctx, csr, mode, 1)))
+					comparePairs(t, label+" cnp", pairsOf(g, CNP(g, 0, mode)), must(CNPStream(ctx, csr, 0, mode, 1)))
+					comparePairs(t, label+" cnp2", pairsOf(g, CNP(g, 2, mode)), must(CNPStream(ctx, csr, 2, mode, 1)))
 				}
-				comparePairs(t, label+" blast", pairsOf(g, BlastWNP(g, 2, 2)), must(BlastWNPStream(ctx, csr, 2, 2)))
-				comparePairs(t, label+" blast41", pairsOf(g, BlastWNP(g, 4, 1)), must(BlastWNPStream(ctx, csr, 4, 1)))
+				comparePairs(t, label+" blast", pairsOf(g, BlastWNP(g, 2, 2)), must(BlastWNPStream(ctx, csr, 2, 2, 1)))
+				comparePairs(t, label+" blast41", pairsOf(g, BlastWNP(g, 4, 1)), must(BlastWNPStream(ctx, csr, 4, 1, 1)))
 			}
 		}
 	}
@@ -96,7 +96,7 @@ func TestStreamFigure1(t *testing.T) {
 	c := blocking.TokenBlocking(ds)
 	csr := graph.BuildCSR(c)
 	weights.Blast().ApplyCSR(csr)
-	pairs := must(BlastWNPStream(context.Background(), csr, 2, 2))
+	pairs := must(BlastWNPStream(context.Background(), csr, 2, 2, 1))
 	if len(pairs) != 2 {
 		t.Fatalf("retained %d pairs, want 2", len(pairs))
 	}
@@ -114,9 +114,9 @@ func TestStreamEmptyGraph(t *testing.T) {
 	must := muster(t)
 	c := &blocking.Collection{Kind: model.Dirty, NumProfiles: 3}
 	csr := graph.BuildCSR(c)
-	if must(WEPStream(ctx, csr)) != nil || must(CEPStream(ctx, csr, 0)) != nil ||
-		must(WNPStream(ctx, csr, Redefined)) != nil || must(CNPStream(ctx, csr, 0, Reciprocal)) != nil ||
-		must(BlastWNPStream(ctx, csr, 2, 2)) != nil {
+	if must(WEPStream(ctx, csr, 1)) != nil || must(CEPStream(ctx, csr, 0, 1)) != nil ||
+		must(WNPStream(ctx, csr, Redefined, 1)) != nil || must(CNPStream(ctx, csr, 0, Reciprocal, 1)) != nil ||
+		must(BlastWNPStream(ctx, csr, 2, 2, 1)) != nil {
 		t.Error("empty graph must prune to nothing")
 	}
 }
@@ -131,11 +131,11 @@ func TestStreamZeroWeightsNeverRetained(t *testing.T) {
 	c := blocking.RandomCollection(rng, model.Dirty, 30, 20)
 	csr := graph.BuildCSR(c) // weights left at zero
 	for name, pairs := range map[string][]model.IDPair{
-		"wep":   must(WEPStream(ctx, csr)),
-		"cep":   must(CEPStream(ctx, csr, 0)),
-		"wnp":   must(WNPStream(ctx, csr, Redefined)),
-		"cnp":   must(CNPStream(ctx, csr, 0, Redefined)),
-		"blast": must(BlastWNPStream(ctx, csr, 2, 2)),
+		"wep":   must(WEPStream(ctx, csr, 1)),
+		"cep":   must(CEPStream(ctx, csr, 0, 1)),
+		"wnp":   must(WNPStream(ctx, csr, Redefined, 1)),
+		"cnp":   must(CNPStream(ctx, csr, 0, Redefined, 1)),
+		"blast": must(BlastWNPStream(ctx, csr, 2, 2, 1)),
 	} {
 		if len(pairs) != 0 {
 			t.Errorf("%s retained %d zero-weight pairs", name, len(pairs))

@@ -52,6 +52,116 @@ func TestMergePairs(t *testing.T) {
 	}
 }
 
+// TestMergePairsDuplicateRunsAcrossShards exercises the misconfigured
+// fan-out path documented on MergePairs — overlapping (non-disjoint)
+// streams — with interleaved duplicate runs across more than two
+// shards, including cursors that exhaust mid-run while other shards
+// keep producing duplicates of the exhausted shard's tail.
+func TestMergePairsDuplicateRunsAcrossShards(t *testing.T) {
+	cases := []struct {
+		name  string
+		parts [][]model.IDPair
+		want  []model.IDPair
+	}{
+		{
+			// Three shards share a duplicate run 2..4; shard 0 exhausts
+			// exactly at the end of the run while the others continue.
+			"exhaust-at-run-end",
+			[][]model.IDPair{
+				{pair(0, 2), pair(0, 3), pair(0, 4)},
+				{pair(0, 2), pair(0, 3), pair(0, 4), pair(1, 2)},
+				{pair(0, 3), pair(0, 4), pair(1, 2), pair(1, 3)},
+			},
+			[]model.IDPair{pair(0, 2), pair(0, 3), pair(0, 4), pair(1, 2), pair(1, 3)},
+		},
+		{
+			// Four shards, duplicate runs interleaved with private pairs:
+			// every pop must pick the global minimum even while several
+			// cursors sit on identical heads.
+			"interleaved-runs-4-shards",
+			[][]model.IDPair{
+				{pair(0, 1), pair(2, 3), pair(2, 4), pair(9, 9)},
+				{pair(0, 1), pair(1, 2), pair(2, 4)},
+				{pair(1, 2), pair(2, 3), pair(2, 4), pair(5, 6)},
+				{pair(0, 1), pair(2, 4), pair(5, 6), pair(9, 9)},
+			},
+			[]model.IDPair{pair(0, 1), pair(1, 2), pair(2, 3), pair(2, 4), pair(5, 6), pair(9, 9)},
+		},
+		{
+			// A shard that is a strict prefix of another, twice over: its
+			// cursor exhausts first and must simply drop out of the scan.
+			"prefix-shards",
+			[][]model.IDPair{
+				{pair(1, 2)},
+				{pair(1, 2), pair(1, 3)},
+				{pair(1, 2), pair(1, 3), pair(1, 4)},
+			},
+			[]model.IDPair{pair(1, 2), pair(1, 3), pair(1, 4)},
+		},
+		{
+			// Identical streams on every shard: maximal duplication, the
+			// merge must collapse to one copy.
+			"all-identical",
+			[][]model.IDPair{
+				{pair(0, 1), pair(0, 2), pair(3, 4)},
+				{pair(0, 1), pair(0, 2), pair(3, 4)},
+				{pair(0, 1), pair(0, 2), pair(3, 4)},
+				{pair(0, 1), pair(0, 2), pair(3, 4)},
+			},
+			[]model.IDPair{pair(0, 1), pair(0, 2), pair(3, 4)},
+		},
+	}
+	for _, tc := range cases {
+		if got := MergePairs(tc.parts); !slices.Equal(got, tc.want) {
+			t.Errorf("%s: MergePairs = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestMergePairsRandomizedOverlap drives MergePairs against a naive
+// reference (concatenate, sort, dedup) on randomized overlapping shard
+// streams — each shard holds a sorted sample of a shared pair universe,
+// so duplicate runs and staggered exhaustion arise constantly.
+func TestMergePairsRandomizedOverlap(t *testing.T) {
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	for trial := 0; trial < 200; trial++ {
+		universe := make([]model.IDPair, 0, 24)
+		for u := 0; u < 6; u++ {
+			for v := u + 1; v < 6; v++ {
+				universe = append(universe, pair(int32(u), int32(v)))
+			}
+		}
+		shards := 3 + next(3) // 3..5, always > 2
+		parts := make([][]model.IDPair, shards)
+		for s := range parts {
+			for _, p := range universe {
+				if next(3) != 0 { // ~2/3 overlap between shards
+					parts[s] = append(parts[s], p)
+				}
+			}
+		}
+		seen := make(map[model.IDPair]bool)
+		var want []model.IDPair
+		for _, p := range universe { // universe is already canonical order
+			for _, part := range parts {
+				if slices.Contains(part, p) && !seen[p] {
+					seen[p] = true
+					want = append(want, p)
+				}
+			}
+		}
+		if got := MergePairs(parts); !slices.Equal(got, want) {
+			t.Fatalf("trial %d (%d shards): MergePairs = %v, want %v", trial, shards, got, want)
+		}
+	}
+}
+
 func TestMergePairsDoesNotAliasSingleInput(t *testing.T) {
 	in := []model.IDPair{pair(0, 1)}
 	out := MergePairs([][]model.IDPair{in})

@@ -90,7 +90,10 @@ func (p *Pipeline) Serve(ctx context.Context, ds *model.Dataset, sopt ServerOpti
 // compaction — their internal auto-compaction is disabled and the
 // Options.Compaction knobs instead drive the shard-level overlay swap
 // trigger, so folding the overlay and publishing the result are one
-// event.
+// event. Options.Workers reaches every replica: the initial build and
+// each replica's pruning re-derivations run on that many goroutines,
+// and because the parallel pruning is byte-deterministic the replicas
+// stay identical at any worker count.
 func (p *Pipeline) ServeBlocks(ctx context.Context, blocks *Blocks, sopt ServerOptions) (*Server, error) {
 	if err := sopt.Validate(); err != nil {
 		return nil, err

@@ -82,17 +82,23 @@ func TestServerEquivalenceMatrix(t *testing.T) {
 		metablocking.BlastWNP,
 	}
 	shardCounts := []int{1, 2, 4}
+	// Pruning workers cycle through the determinism axis alongside the
+	// shard count: replicas must stay byte-identical (and equal to the
+	// cold rebuild) at every parallelism level.
+	workersAxis := []int{0, 1, 2, 4}
 	cfg := 0
 	for _, scheme := range schemes {
 		for _, pruning := range prunings {
 			shards := shardCounts[cfg%len(shardCounts)]
+			workers := workersAxis[cfg%len(workersAxis)]
 			cfg++
-			label := fmt.Sprintf("%s/%v/shards=%d", scheme.Name(), pruning, shards)
+			label := fmt.Sprintf("%s/%v/shards=%d/workers=%d", scheme.Name(), pruning, shards, workers)
 			rng := stats.NewRNG(uint64(cfg)*2654435761 + 7)
 			ds := synthDirty(rng, 50)
 			opt := DefaultOptions()
 			opt.Scheme = scheme
 			opt.Pruning = pruning
+			opt.Workers = workers
 			p, err := NewPipeline(opt)
 			if err != nil {
 				t.Fatal(err)
