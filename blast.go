@@ -129,6 +129,29 @@ type ServerOptions struct {
 	// 0 selects 256; negative disables the op-count trigger, leaving
 	// swaps to the overlay trigger (Options.Compaction) and Quiesce.
 	SwapOps int
+
+	// Dir, when non-empty, makes the server durable: every admitted
+	// InsertAll batch is appended to a per-shard write-ahead log under
+	// Dir before ids are returned, published snapshots are persisted on
+	// the SnapshotEvery policy, and ServeBlocks on an existing Dir
+	// recovers — newest valid snapshot per shard, WAL suffix replayed,
+	// torn tails truncated — to a state byte-identical to a cold
+	// IndexBlocks over seed + replayed inserts. The seed Blocks artifact
+	// is NOT persisted; reopening requires the same artifact (a manifest
+	// records its fingerprint and fails closed on mismatch). Empty
+	// disables durability entirely.
+	Dir string
+	// SyncEvery batches WAL fsyncs: one fsync per SyncEvery admitted
+	// batches. 0 selects 1 — every admitted batch is on stable storage
+	// before its ids are returned; n > 1 trades the tail of a machine
+	// crash (not a process crash: writes are unbuffered) for admission
+	// throughput; negative never fsyncs explicitly. Requires Dir.
+	SyncEvery int
+	// SnapshotEvery persists a published snapshot once at least this
+	// many batches were admitted since the last persisted one, bounding
+	// recovery replay. 0 selects 64; negative disables snapshot
+	// persistence (recovery replays the whole WAL). Requires Dir.
+	SnapshotEvery int
 }
 
 // maxServerShards bounds the shard count: each shard is a full index
@@ -140,6 +163,9 @@ const maxServerShards = 256
 func (so ServerOptions) Validate() error {
 	if so.Shards < 0 || so.Shards > maxServerShards {
 		return fmt.Errorf("blast: Shards = %d outside [0, %d] (0 selects 1; each shard is a full replica)", so.Shards, maxServerShards)
+	}
+	if so.Dir == "" && (so.SyncEvery != 0 || so.SnapshotEvery != 0) {
+		return fmt.Errorf("blast: SyncEvery/SnapshotEvery = %d/%d without Dir: durability knobs need a durable directory", so.SyncEvery, so.SnapshotEvery)
 	}
 	return nil
 }
@@ -162,6 +188,32 @@ func (so ServerOptions) swapOps() int {
 		return 0
 	default:
 		return so.SwapOps
+	}
+}
+
+// walSyncEvery resolves the WAL fsync policy (0 -> every batch,
+// negative -> never).
+func (so ServerOptions) walSyncEvery() int {
+	switch {
+	case so.SyncEvery == 0:
+		return 1
+	case so.SyncEvery < 0:
+		return 0
+	default:
+		return so.SyncEvery
+	}
+}
+
+// snapshotEvery resolves the snapshot persistence cadence in batches
+// (0 -> 64, negative -> disabled).
+func (so ServerOptions) snapshotEvery() int64 {
+	switch {
+	case so.SnapshotEvery == 0:
+		return 64
+	case so.SnapshotEvery < 0:
+		return 0
+	default:
+		return int64(so.SnapshotEvery)
 	}
 }
 

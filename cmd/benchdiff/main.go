@@ -1,8 +1,8 @@
 // Command benchdiff is the CI benchmark-regression gate: it compares
 // the benchmark artifacts of the current run (BENCH_query.json,
-// BENCH_incremental.json, BENCH_serve.json, BENCH_prune.json) against
-// committed baselines and fails when a gated metric regresses beyond
-// the threshold.
+// BENCH_incremental.json, BENCH_serve.json, BENCH_prune.json,
+// BENCH_recover.json) against committed baselines and fails when a
+// gated metric regresses beyond the threshold.
 //
 // Gated metrics:
 //
@@ -23,6 +23,10 @@
 //     its serial run (EqualSerial); and the best speedup at the largest
 //     worker count must reach -min-prune-speedup (default 2.0), again
 //     only on hosts with at least -min-scaling-procs CPUs.
+//   - recover: per-cell (dataset/mode/shards) crash-recovery time must
+//     not grow more than threshold, and every current row must report
+//     Match=true — a recovered server that diverges from the pre-crash
+//     state is a named failure regardless of timing.
 //
 // Degenerate artifact values — zero, negative, NaN or Inf where a
 // latency, throughput, speedup or scaling factor belongs — are a named
@@ -40,6 +44,7 @@
 //	go run ./cmd/blastbench -exp incremental -scale 0.5 -json > bench/baselines/BENCH_incremental.json
 //	go run ./cmd/blastbench -exp serve -scale 0.5 -json > bench/baselines/BENCH_serve.json
 //	go run ./cmd/blastbench -exp prune -scale 0.5 -json > bench/baselines/BENCH_prune.json
+//	go run ./cmd/blastbench -exp recover -scale 0.5 -json > bench/baselines/BENCH_recover.json
 package main
 
 import (
@@ -334,6 +339,50 @@ func run(w io.Writer, baseDir, curDir string, threshold, minScaling, minPrune fl
 		default:
 			add(floorCheck(fmt.Sprintf("prune/%s best speedup at %d workers", bestRow.Dataset, topWorkers),
 				minPrune, best))
+		}
+	}
+
+	// recover: per-cell crash-recovery time vs baseline, plus the
+	// Match flag over the current run alone — a recovered server that
+	// diverged from the pre-crash state fails by name even when no
+	// baseline exists yet.
+	baseR, err := loadJSON[experiments.RecoverRow](baseDir, "BENCH_recover.json")
+	if err != nil {
+		return 0, err
+	}
+	curR, err := loadJSON[experiments.RecoverRow](curDir, "BENCH_recover.json")
+	if err != nil {
+		return 0, err
+	}
+	if baseR == nil {
+		fmt.Fprintln(w, "recover: no baseline, time comparison skipped")
+	} else {
+		if curR == nil {
+			return 0, fmt.Errorf("missing current BENCH_recover.json (baseline exists)")
+		}
+		key := func(r experiments.RecoverRow) string {
+			return fmt.Sprintf("%s/%s/shards=%d", r.Dataset, r.Mode, r.Shards)
+		}
+		cur := make(map[string]experiments.RecoverRow, len(curR))
+		for _, r := range curR {
+			cur[key(r)] = r
+		}
+		for _, b := range baseR {
+			c, found := cur[key(b)]
+			if !found {
+				add(check{metric: "recover/" + key(b) + " ns", baseline: float64(b.RecoveryTime), ok: false, note: "configuration missing from current run"})
+				continue
+			}
+			add(gated("recover/"+key(b)+" ns", float64(b.RecoveryTime), float64(c.RecoveryTime), threshold, true))
+		}
+	}
+	for _, r := range curR {
+		if !r.Match {
+			add(check{
+				metric: fmt.Sprintf("recover/%s/%s/shards=%d match", r.Dataset, r.Mode, r.Shards),
+				ok:     false,
+				note:   "recovered server diverged from the pre-crash state",
+			})
 		}
 	}
 

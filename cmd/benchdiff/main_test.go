@@ -285,6 +285,79 @@ func TestGatePrune(t *testing.T) {
 	}
 }
 
+func recoverRow(ds, mode string, shards int, ns time.Duration, match bool) experiments.RecoverRow {
+	return experiments.RecoverRow{Dataset: ds, Mode: mode, Shards: shards, GOMAXPROCS: 8,
+		RecoveryTime: ns, Match: match}
+}
+
+// TestGateRecover covers the recover artifact: per-cell recovery-time
+// regression, the recovered-state match flag (gated even with no
+// baseline), and the dropped-cell check.
+func TestGateRecover(t *testing.T) {
+	base, cur := t.TempDir(), t.TempDir()
+	writeJSON(t, base, "BENCH_recover.json", []experiments.RecoverRow{
+		recoverRow("census", "snapshot", 2, 50*time.Millisecond, true),
+		recoverRow("census", "walreplay", 2, 200*time.Millisecond, true),
+	})
+	writeJSON(t, cur, "BENCH_recover.json", []experiments.RecoverRow{
+		recoverRow("census", "snapshot", 2, 55*time.Millisecond, true), // +10% < 25%
+		recoverRow("census", "walreplay", 2, 210*time.Millisecond, true),
+	})
+	var out strings.Builder
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("failures = %d within threshold\n%s", failures, out.String())
+	}
+
+	// A regressed recovery time and a diverged recovered state: two
+	// named failures.
+	writeJSON(t, cur, "BENCH_recover.json", []experiments.RecoverRow{
+		recoverRow("census", "snapshot", 2, 100*time.Millisecond, true),   // +100%
+		recoverRow("census", "walreplay", 2, 210*time.Millisecond, false), // diverged
+	})
+	out.Reset()
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 2 {
+		t.Fatalf("failures = %d, want 2 (recovery time, match)\n%s", failures, out.String())
+	}
+	if !strings.Contains(out.String(), "diverged from the pre-crash state") {
+		t.Errorf("missing divergence note:\n%s", out.String())
+	}
+
+	// The match flag gates even when no baseline exists yet.
+	os.Remove(filepath.Join(base, "BENCH_recover.json"))
+	out.Reset()
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1 (match, baseline absent)\n%s", failures, out.String())
+	}
+
+	// A baseline cell missing from the current run is a regression.
+	writeJSON(t, base, "BENCH_recover.json", []experiments.RecoverRow{
+		recoverRow("census", "snapshot", 1, 50*time.Millisecond, true),
+	})
+	writeJSON(t, cur, "BENCH_recover.json", []experiments.RecoverRow{
+		recoverRow("census", "snapshot", 2, 50*time.Millisecond, true),
+	})
+	out.Reset()
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1 for dropped cell\n%s", failures, out.String())
+	}
+}
+
 func TestGateMalformedJSON(t *testing.T) {
 	base, cur := t.TempDir(), t.TempDir()
 	if err := os.WriteFile(filepath.Join(base, "BENCH_query.json"), []byte("{not json"), 0o644); err != nil {

@@ -7,8 +7,8 @@
 //	blastbench -exp all
 //
 // Experiments: table2 table3 table4 table5 table6 table7 fig5 fig8 fig9
-// fig10 endtoend scalability engines query incremental prune serve baselines
-// standard all. -scale multiplies the per-dataset default sizes (see
+// fig10 endtoend scalability engines query incremental prune serve
+// recover baselines standard all. -scale multiplies the per-dataset default sizes (see
 // internal/experiments); absolute metrics depend on it, comparative
 // structure does not. The engines experiment compares the edge-list and
 // node-centric meta-blocking engines (time, allocation, output
@@ -18,8 +18,11 @@
 // Index.Insert and reports per-insert latency and the amortized speedup
 // over a cold rebuild; the serve experiment drives a mixed read/write
 // load against the sharded snapshot-swap Server across shard counts and
-// against the single-Index baseline. For all five, -json renders
-// machine-readable JSON (the CI benchmark artifacts).
+// against the single-Index baseline; the recover experiment measures
+// durable serving (WAL + snapshot persistence) and the cost of crash
+// recovery, checking the recovered server against the pre-close state.
+// For all six, -json renders machine-readable JSON (the CI benchmark
+// artifacts).
 package main
 
 import (
@@ -32,11 +35,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table2..table7, fig5, fig8, fig9, fig10, endtoend, scalability, engines, query, incremental, prune, serve, baselines, all")
-	dataset := flag.String("dataset", "", "dataset for table4/table7/endtoend/engines/query/incremental/prune (default: every applicable)")
+	exp := flag.String("exp", "all", "experiment id: table2..table7, fig5, fig8, fig9, fig10, endtoend, scalability, engines, query, incremental, prune, serve, recover, baselines, all")
+	dataset := flag.String("dataset", "", "dataset for table4/table7/endtoend/engines/query/incremental/prune/recover (default: every applicable)")
 	scale := flag.Float64("scale", 1, "scale multiplier over per-dataset defaults")
 	seed := flag.Uint64("seed", 42, "random seed")
-	jsonOut := flag.Bool("json", false, "render the engines/query/incremental/prune/serve experiments as JSON")
+	jsonOut := flag.Bool("json", false, "render the engines/query/incremental/prune/serve/recover experiments as JSON")
 	flag.Parse()
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed}
@@ -247,6 +250,25 @@ func run(cfg experiments.Config, exp, dataset string, jsonOut bool) error {
 		}
 		fmt.Println("== Serve: sharded snapshot-swap Server vs single Index ==")
 		fmt.Print(experiments.RenderServe(rows))
+	case "recover":
+		// dataset defaults to census inside Recover; shard counts 1/2 x
+		// modes snapshot/walreplay give the recovery series the CI
+		// regression gate checks (recovery time per cell, plus the
+		// recovered-state byte-equality that fails the run on divergence).
+		rows, err := experiments.Recover(cfg, dataset, nil)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			js, err := experiments.RecoverJSON(rows)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(js))
+			return nil
+		}
+		fmt.Println("== Recover: durable serving, WAL + snapshot crash recovery ==")
+		fmt.Print(experiments.RenderRecover(rows))
 	case "baselines":
 		name := dataset
 		if name == "" {
@@ -267,7 +289,7 @@ func run(cfg experiments.Config, exp, dataset string, jsonOut bool) error {
 		fmt.Print(experiments.RenderStandard(rows))
 	case "all":
 		for _, e := range []string{"table2", "table3", "table4", "table5", "table6", "table7",
-			"fig5", "fig8", "fig9", "fig10", "endtoend", "scalability", "engines", "query", "incremental", "prune", "serve", "baselines", "standard"} {
+			"fig5", "fig8", "fig9", "fig10", "endtoend", "scalability", "engines", "query", "incremental", "prune", "serve", "recover", "baselines", "standard"} {
 			// Always the text rendering: interleaving one JSON array into
 			// the combined report would serve neither reader.
 			if err := run(cfg, e, dataset, false); err != nil {

@@ -65,6 +65,15 @@ func TestRunServeExperiment(t *testing.T) {
 	}
 }
 
+func TestRunRecoverExperiment(t *testing.T) {
+	if err := run(tinyCfg(), "recover", "ar1", false); err != nil {
+		t.Errorf("recover text: %v", err)
+	}
+	if err := run(tinyCfg(), "recover", "census", true); err != nil {
+		t.Errorf("recover json: %v", err)
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run(tinyCfg(), "table99", "", false); err == nil {
 		t.Error("unknown experiment should error")

@@ -1,0 +1,382 @@
+package blast
+
+// Differential tests of durable serving: a server reopened over a
+// durable directory — after a clean close or after byte-level damage to
+// its logs and snapshots — must serve exactly what a cold IndexBlocks
+// over the recovered union collection serves, and the recovered prefix
+// must be precisely the one the WAL semantics dictate. The SIGKILL
+// variant of the same contract lives in crash_test.go.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"blast/internal/model"
+	"blast/internal/stats"
+	"blast/internal/wal"
+)
+
+const durBatchSize = 3
+
+// durBatchFor deterministically regenerates insert batch k, so a test
+// (or the crash-test parent process) can reconstruct the exact insert
+// sequence a server admitted without sharing state with it.
+func durBatchFor(k int) []model.Profile {
+	rng := stats.NewRNG(0xB10C + uint64(k)*2654435761)
+	batch := make([]model.Profile, durBatchSize)
+	for i := range batch {
+		batch[i] = synthProfile(rng, fmt.Sprintf("d%d-%d", k, i))
+	}
+	return batch
+}
+
+// durDataset builds the deterministic seed dataset shared by the
+// durable tests: same seed in, same blocks out, same manifest
+// fingerprint across opens.
+func durDataset() *model.Dataset {
+	return synthDirty(stats.NewRNG(0xD00D), 40)
+}
+
+func durInsert(t *testing.T, srv *Server, from, to int) {
+	t.Helper()
+	ctx := context.Background()
+	for k := from; k < to; k++ {
+		ids, err := srv.InsertAll(ctx, durBatchFor(k))
+		if err != nil {
+			t.Fatalf("insert batch %d: %v", k, err)
+		}
+		if want := 40 + k*durBatchSize; ids[0] != want {
+			t.Fatalf("batch %d ids start at %d, want %d", k, ids[0], want)
+		}
+	}
+}
+
+// durReferencePairs computes the expected Pairs of a server holding the
+// seed plus the first nBatches insert batches, via an independent
+// in-memory server.
+func durReferencePairs(t *testing.T, p *Pipeline, nBatches int) []model.IDPair {
+	t.Helper()
+	ctx := context.Background()
+	ref, err := p.Serve(ctx, durDataset(), ServerOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	durInsert(t, ref, 0, nBatches)
+	if err := ref.Quiesce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := ref.Pairs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pairs
+}
+
+// checkRecovered asserts the full recovery contract: the reopened
+// server admitted exactly wantBatches of the insert sequence, is
+// internally equivalent to a cold rebuild over its union collection,
+// and serves Pairs byte-identical to the independent reference.
+func checkRecovered(t *testing.T, label string, p *Pipeline, srv *Server, wantBatches int) {
+	t.Helper()
+	if got, want := srv.Admitted(), 40+wantBatches*durBatchSize; got != want {
+		t.Fatalf("%s: recovered %d admitted profiles, want %d (%d batches)", label, got, want, wantBatches)
+	}
+	checkServerEquivalence(t, label, p, srv)
+	got, err := srv.Pairs(context.Background())
+	if err != nil {
+		t.Fatalf("%s: Pairs: %v", label, err)
+	}
+	assertSamePairs(t, label+" vs reference", durReferencePairs(t, p, wantBatches), got)
+}
+
+// TestDurableReopenMatrix runs open → stream → close → reopen across
+// shard counts and snapshot/sync policies, two generations deep, and
+// checks the recovery contract at every step. SnapshotEvery 1 recovers
+// from snapshot + WAL suffix; -1 forces pure WAL replay; 0 (default
+// cadence 64) recovers cold with an immediate snapshot of nothing —
+// all three must land on the identical state.
+func TestDurableReopenMatrix(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		shards, snapEvery, syncEvery int
+	}{
+		{1, 1, 1},
+		{2, -1, 1},
+		{3, 1, -1},
+		{2, 0, 0},
+	}
+	for _, tc := range cases {
+		label := fmt.Sprintf("shards=%d/snap=%d/sync=%d", tc.shards, tc.snapEvery, tc.syncEvery)
+		t.Run(label, func(t *testing.T) {
+			dir := t.TempDir()
+			p, err := NewPipeline(DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sopt := ServerOptions{
+				Shards: tc.shards, SwapOps: 2,
+				Dir: dir, SnapshotEvery: tc.snapEvery, SyncEvery: tc.syncEvery,
+			}
+			srv, err := p.Serve(ctx, durDataset(), sopt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A fresh durable server behaves exactly like the in-memory one.
+			checkRecovered(t, label+"/fresh", p, srv, 0)
+			durInsert(t, srv, 0, 3)
+			checkServerEquivalence(t, label+"/streamed", p, srv)
+			if err := srv.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			// Pairs still serves after Close, from the drained state.
+			if _, err := srv.Pairs(ctx); err != nil {
+				t.Fatalf("Pairs after Close: %v", err)
+			}
+
+			srv2, err := p.Serve(ctx, durDataset(), sopt)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			checkRecovered(t, label+"/gen1", p, srv2, 3)
+			durInsert(t, srv2, 3, 5)
+			checkServerEquivalence(t, label+"/gen1-streamed", p, srv2)
+			if err := srv2.Close(); err != nil {
+				t.Fatalf("close gen1: %v", err)
+			}
+
+			// Second generation: recovery over a directory that was itself
+			// produced by a recovery (epoch continuation, snapshot pruning).
+			srv3, err := p.Serve(ctx, durDataset(), sopt)
+			if err != nil {
+				t.Fatalf("reopen gen2: %v", err)
+			}
+			checkRecovered(t, label+"/gen2", p, srv3, 5)
+			if err := srv3.Close(); err != nil {
+				t.Fatalf("close gen2: %v", err)
+			}
+		})
+	}
+}
+
+// durOpen opens the durable server over dir with the canonical test
+// policy (sync every batch, snapshot policy per snapEvery).
+func durOpen(t *testing.T, p *Pipeline, dir string, shards, snapEvery int) (*Server, error) {
+	t.Helper()
+	return p.Serve(context.Background(), durDataset(), ServerOptions{
+		Shards: shards, SwapOps: 2, Dir: dir, SnapshotEvery: snapEvery, SyncEvery: 1,
+	})
+}
+
+// durSeedDir builds a closed durable directory holding nBatches.
+func durSeedDir(t *testing.T, p *Pipeline, shards, snapEvery, nBatches int) string {
+	t.Helper()
+	dir := t.TempDir()
+	srv, err := durOpen(t, p, dir, shards, snapEvery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	durInsert(t, srv, 0, nBatches)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestDurableTornWAL damages the WAL tails at the byte level — partial
+// final records, flipped bytes, wholesale truncation — and checks that
+// recovery serves exactly the surviving batch prefix, never a torn or
+// invented state.
+func TestDurableTornWAL(t *testing.T) {
+	p, err := NewPipeline(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards, batches = 2, 4
+	corruptions := []struct {
+		name string
+		// damage mutates the raw WAL bytes of one shard's log.
+		damage func([]byte) []byte
+		want   int // surviving batches
+	}{
+		{"truncate-1-byte", func(b []byte) []byte { return b[:len(b)-1] }, batches - 1},
+		{"truncate-mid-record", func(b []byte) []byte { return b[:len(b)-len(b)/8] }, batches - 1},
+		{"flip-last-byte", func(b []byte) []byte { b[len(b)-1] ^= 0x40; return b }, batches - 1},
+		{"flip-header-of-last-record", func(b []byte) []byte { b[len(b)-5] ^= 0x01; return b }, batches - 1},
+		{"empty-file", func(b []byte) []byte { return nil }, 0},
+		{"header-only", func(b []byte) []byte { return b[:8] }, 0},
+	}
+	for _, tc := range corruptions {
+		for _, damaged := range []int{0, shards - 1} {
+			t.Run(fmt.Sprintf("%s/shard%d", tc.name, damaged), func(t *testing.T) {
+				dir := durSeedDir(t, p, shards, -1, batches)
+				path := filepath.Join(dir, "wal", fmt.Sprintf("shard-%03d.wal", damaged))
+				raw, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, tc.damage(raw), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				// Damaging ONE log must cut BOTH shards back to the common
+				// prefix: a batch counts as admitted only if it is on every log.
+				srv, err := durOpen(t, p, dir, shards, -1)
+				if err != nil {
+					t.Fatalf("reopen after %s: %v", tc.name, err)
+				}
+				checkRecovered(t, tc.name, p, srv, tc.want)
+				if err := srv.Close(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestDurableWALDivergenceFailsClosed forges a same-position record that
+// differs between two shards' logs: recovery must refuse to serve
+// rather than guess which history is real.
+func TestDurableWALDivergenceFailsClosed(t *testing.T) {
+	p, err := NewPipeline(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := durSeedDir(t, p, 2, -1, 3)
+	path := filepath.Join(dir, "wal", "shard-000.wal")
+	l, _, err := wal.Open(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Truncate(l.Records() - 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(wal.AppendBatch(nil, durBatchFor(99))); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := durOpen(t, p, dir, 2, -1); err == nil {
+		t.Fatal("diverged WALs were silently replayed")
+	}
+}
+
+// TestDurableSnapshotFallback damages persisted snapshots and checks
+// the fallback ladder: older snapshot, then cold rebuild — never a
+// corrupted state, and never losing WAL-journaled batches.
+func TestDurableSnapshotFallback(t *testing.T) {
+	p, err := NewPipeline(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards, batches = 2, 4
+	mutate := []struct {
+		name   string
+		damage func(t *testing.T, sdir string, names []string)
+	}{
+		{"flip-newest", func(t *testing.T, sdir string, names []string) {
+			path := filepath.Join(sdir, names[len(names)-1])
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[len(raw)/2] ^= 0x10
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"delete-all", func(t *testing.T, sdir string, names []string) {
+			for _, name := range names {
+				if err := os.Remove(filepath.Join(sdir, name)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}},
+		{"truncate-newest", func(t *testing.T, sdir string, names []string) {
+			path := filepath.Join(sdir, names[len(names)-1])
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, raw[:len(raw)/3], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range mutate {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := durSeedDir(t, p, shards, 1, batches)
+			for i := 0; i < shards; i++ {
+				sdir := filepath.Join(dir, "snap", fmt.Sprintf("shard-%03d", i))
+				entries, err := os.ReadDir(sdir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				names := make([]string, 0, len(entries))
+				for _, e := range entries {
+					names = append(names, e.Name())
+				}
+				if len(names) == 0 {
+					t.Fatalf("shard %d persisted no snapshots", i)
+				}
+				tc.damage(t, sdir, names)
+			}
+			srv, err := durOpen(t, p, dir, shards, 1)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			// The WAL holds every batch regardless of snapshot damage.
+			checkRecovered(t, tc.name, p, srv, batches)
+			if err := srv.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDurableManifestMismatch pins the fail-closed contract of the
+// manifest: a durable directory only reopens under the layout and seed
+// artifact it was created with.
+func TestDurableManifestMismatch(t *testing.T) {
+	ctx := context.Background()
+	p, err := NewPipeline(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := durSeedDir(t, p, 2, -1, 1)
+
+	if _, err := durOpen(t, p, dir, 3, -1); err == nil {
+		t.Error("reopen with a different shard count accepted")
+	}
+	otherSeed := synthDirty(stats.NewRNG(0xBEEF), 40)
+	if _, err := p.Serve(ctx, otherSeed, ServerOptions{Shards: 2, Dir: dir, SyncEvery: 1}); err == nil {
+		t.Error("reopen with a different seed artifact accepted")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "MANIFEST.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := durOpen(t, p, dir, 2, -1); err == nil {
+		t.Error("corrupt manifest accepted")
+	}
+}
+
+// TestDurableOptionValidation: the durability knobs require Dir.
+func TestDurableOptionValidation(t *testing.T) {
+	ctx := context.Background()
+	p, err := NewPipeline(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sopt := range []ServerOptions{
+		{SyncEvery: 1},
+		{SnapshotEvery: 1},
+		{SyncEvery: -1, SnapshotEvery: -1},
+	} {
+		if _, err := p.Serve(ctx, durDataset(), sopt); err == nil {
+			t.Errorf("ServerOptions %+v accepted without Dir", sopt)
+		}
+	}
+}

@@ -45,6 +45,15 @@ import (
 
 var errSupervisedIndex = errors.New("blast: supervised meta-blocking has no candidate-serving index form")
 
+// ErrPartialInsert reports that InsertAll failed after admitting a
+// prefix of its batch: the returned ids identify the profiles that WERE
+// admitted (the index is finalized and consistent over them — equivalent
+// to a cold rebuild over its live collection), and the wrapped cause
+// explains the failure. It can only arise from an internal invariant
+// violation: user input is fully tokenized and validated before the
+// first mutation, so malformed profiles never trigger it.
+var ErrPartialInsert = errors.New("blast: batch partially admitted")
+
 // Candidate is one candidate comparison served by Index.Candidates (and
 // by Server.Candidates): a co-candidate profile id and the BLAST edge
 // weight that retained it. It aliases the internal serving type so index
@@ -102,6 +111,11 @@ type Index struct {
 	app   *blocking.Appender
 	ov    *graph.Overlay
 	stats IndexStats
+
+	// insertFail, when non-nil, is consulted before each profile of an
+	// InsertAll batch mutates the index — a test failpoint simulating
+	// mid-batch structural failures. Always nil in production.
+	insertFail func(batchIdx int) error
 }
 
 // BuildIndex runs the full pipeline on the dataset and freezes the
@@ -422,10 +436,15 @@ func (ix *Index) Insert(ctx context.Context, p *model.Profile) (int, error) {
 
 // InsertAll adds a batch of profiles, amortizing the re-weighting and
 // re-pruning work across the whole batch, and returns the assigned
-// global ids in order. Cancellation is observed between profiles: on a
-// cancelled context the already-appended prefix is finalized (leaving
-// the index consistent and equivalent to a cold rebuild over it), the
-// prefix ids are returned together with ctx.Err().
+// global ids in order. The whole batch is tokenized against the frozen
+// schema before anything mutates (validate-then-apply), so user input
+// can never strand a half-admitted batch. Cancellation is observed
+// between profiles: on a cancelled context the already-appended prefix
+// is finalized (leaving the index consistent and equivalent to a cold
+// rebuild over it), the prefix ids are returned together with ctx.Err().
+// Should an internal invariant violation interrupt the batch mid-way,
+// the admitted prefix is finalized the same way and the error wraps
+// ErrPartialInsert with the prefix ids returned.
 func (ix *Index) InsertAll(ctx context.Context, profiles []model.Profile) ([]int, error) {
 	if len(profiles) == 0 {
 		return nil, ctx.Err()
@@ -437,6 +456,14 @@ func (ix *Index) InsertAll(ctx context.Context, profiles []model.Profile) ([]int
 	}
 	ix.ensureMutableLocked()
 
+	// Validate-then-apply: all per-profile input processing (transform,
+	// key function, dedup) runs before the first mutation, so the only
+	// mid-batch failures left are cancellation and internal invariants.
+	keys := make([][]blocking.KeyEntropy, len(profiles))
+	for i := range profiles {
+		keys[i] = ix.profileKeys(&profiles[i])
+	}
+
 	st := newInsertState()
 	var ids []int
 	var cancelErr error
@@ -445,17 +472,39 @@ func (ix *Index) InsertAll(ctx context.Context, profiles []model.Profile) ([]int
 			cancelErr = err
 			break
 		}
-		id, err := ix.appendOneLocked(&profiles[i], st)
+		if ix.insertFail != nil {
+			if err := ix.insertFail(i); err != nil {
+				if ferr := ix.finalizeLocked(st); ferr != nil {
+					err = errors.Join(err, ferr)
+				}
+				return ids, partialInsertError(len(ids), len(profiles), err)
+			}
+		}
+		id, err := ix.appendOneLocked(keys[i], st)
 		if err != nil {
 			// Structural invariant violation; the collection append
 			// already happened, so finalize what landed before failing.
-			ix.finalizeLocked(st)
-			return ids, err
+			if ferr := ix.finalizeLocked(st); ferr != nil {
+				err = errors.Join(err, ferr)
+			}
+			return ids, partialInsertError(len(ids), len(profiles), err)
 		}
 		ids = append(ids, int(id))
 	}
-	ix.finalizeLocked(st)
+	if err := ix.finalizeLocked(st); err != nil {
+		return ids, partialInsertError(len(ids), len(profiles), err)
+	}
 	return ids, cancelErr
+}
+
+// partialInsertError classifies a mid-batch failure: a batch that never
+// admitted anything is a plain rejection, one that did wraps
+// ErrPartialInsert so callers can detect the partial admission.
+func partialInsertError(admitted, batch int, cause error) error {
+	if admitted == 0 {
+		return fmt.Errorf("blast: batch rejected before any admission: %w", cause)
+	}
+	return fmt.Errorf("%w (%d of %d profiles): %w", ErrPartialInsert, admitted, batch, cause)
 }
 
 // Compact folds the insert overlay into a fresh flat base CSR,
@@ -528,10 +577,11 @@ func newInsertState() *insertState {
 }
 
 // appendOneLocked performs the structural part of one insert: collection
-// append, adjacency-run accumulation, overlay append and mirror splices.
-// Weighting and pruning are deferred to finalizeLocked.
-func (ix *Index) appendOneLocked(p *model.Profile, st *insertState) (int32, error) {
-	res := ix.app.Append(ix.profileKeys(p))
+// append, adjacency-run accumulation, overlay append and mirror splices,
+// from the profile's pre-tokenized keys. Weighting and pruning are
+// deferred to finalizeLocked.
+func (ix *Index) appendOneLocked(keys []blocking.KeyEntropy, st *insertState) (int32, error) {
+	res := ix.app.Append(keys)
 	ix.ov.AddBlocks(len(res.Created))
 	ix.ov.AddComparisons(res.ComparisonsDelta)
 	for _, m := range res.CountChanged {
@@ -670,10 +720,12 @@ func (ix *Index) accumulateRun(n int32) (neighbors, common []int32, arcs, entrop
 // finalizeLocked turns the batch's structural changes into final
 // weights, thresholds and retention marks. It always runs to completion
 // (no cancellation): interrupting between the collection append and the
-// decision update would leave the index between states.
-func (ix *Index) finalizeLocked(st *insertState) {
+// decision update would leave the index between states. A non-nil error
+// reports a broken internal invariant; InsertAll surfaces it wrapped in
+// ErrPartialInsert rather than panicking through the caller.
+func (ix *Index) finalizeLocked(st *insertState) error {
 	if len(st.newIDs) == 0 {
-		return
+		return nil
 	}
 	ix.pairs, ix.pairsValid = nil, false
 
@@ -687,7 +739,7 @@ func (ix *Index) finalizeLocked(st *insertState) {
 			if err := ix.ov.ReplaceStats(n, common, arcs, entropy); err != nil {
 				// The spliced run always matches a fresh accumulation of
 				// the live collection; a mismatch is a broken invariant.
-				panic(err)
+				return err
 			}
 			st.reweighRuns[n] = struct{}{}
 		}
@@ -697,11 +749,15 @@ func (ix *Index) finalizeLocked(st *insertState) {
 		!(ix.opt.Scheme.UsesTotalBlocks() && st.created > 0) &&
 		!(ix.opt.Scheme.UsesEdgeCount() && st.addedEdges > 0)
 	if !localized {
-		ix.rebuildDecisionsLocked()
+		if err := ix.rebuildDecisionsLocked(); err != nil {
+			return err
+		}
 		ix.stats.RebuiltBatches++
-		return
+		return nil
 	}
-	ix.localizedFinalize(st)
+	if err := ix.localizedFinalize(st); err != nil {
+		return err
+	}
 	ix.stats.LocalizedBatches++
 
 	cp := ix.opt.Compaction
@@ -711,6 +767,7 @@ func (ix *Index) finalizeLocked(st *insertState) {
 		// cancels.
 		_ = ix.compactLocked(context.Background())
 	}
+	return nil
 }
 
 // membersOf collects the distinct member profiles of a block set,
@@ -738,8 +795,11 @@ func (ix *Index) membersOf(blocks map[int32]struct{}) []int32 {
 // inputs changed, re-reduce theta_i for the nodes whose run weights
 // changed, and re-evaluate retention only where a weight or a threshold
 // moved. Everything else keeps its frozen decision, which is provably
-// the cold decision because its inputs are unchanged.
-func (ix *Index) localizedFinalize(st *insertState) {
+// the cold decision because its inputs are unchanged. A missing mirror
+// entry (every spliced half-edge must exist on both endpoints) is a
+// broken invariant, reported as an error rather than a panic so a
+// caller's InsertAll fails instead of crashing the process.
+func (ix *Index) localizedFinalize(st *insertState) error {
 	ov := ix.ov
 	w := ix.opt.Scheme.Weigher(ov.NumEdges(), ov.TotalBlocks())
 
@@ -776,7 +836,7 @@ func (ix *Index) localizedFinalize(st *insertState) {
 			}
 			pv, ok := ov.FindNeighbor(v, x)
 			if !ok {
-				panic(fmt.Sprintf("blast: missing mirror entry (%d,%d)", v, x))
+				return fmt.Errorf("blast: missing mirror entry (%d,%d)", v, x)
 			}
 			wt := computeWeight(v, x, pv)
 			ov.SetWeight(x, pos, wt)
@@ -796,7 +856,7 @@ func (ix *Index) localizedFinalize(st *insertState) {
 			v := run.Neighbors[pos]
 			pv, ok := ov.FindNeighbor(v, n)
 			if !ok {
-				panic(fmt.Sprintf("blast: missing mirror entry (%d,%d)", v, n))
+				return fmt.Errorf("blast: missing mirror entry (%d,%d)", v, n)
 			}
 			u1, p1, u2, p2 := n, pos, v, pv
 			if v < n {
@@ -859,7 +919,7 @@ func (ix *Index) localizedFinalize(st *insertState) {
 			v := run.Neighbors[pos]
 			pv, ok := ov.FindNeighbor(v, n)
 			if !ok {
-				panic(fmt.Sprintf("blast: missing mirror entry (%d,%d)", v, n))
+				return fmt.Errorf("blast: missing mirror entry (%d,%d)", v, n)
 			}
 			reEval(n, v, pos, pv)
 		}
@@ -867,6 +927,7 @@ func (ix *Index) localizedFinalize(st *insertState) {
 	for _, e := range dirtyEdges {
 		reEval(e.u, e.v, e.pu, e.pv)
 	}
+	return nil
 }
 
 // keepEdge applies the node-local retention criterion — the same
@@ -891,18 +952,20 @@ func (ix *Index) keepEdge(w, thU, thV float64) bool {
 // retention marks and thresholds through the same code path a cold
 // IndexBlocks uses. This skips only — but exactly — the dominant cost of
 // a cold build: re-scanning the block collection into a graph.
-func (ix *Index) rebuildDecisionsLocked() {
+func (ix *Index) rebuildDecisionsLocked() error {
 	// Background context: the update is committed structurally, so it
 	// must run to completion (see InsertAll's cancellation contract).
 	ctx := context.Background()
 	csr, _, err := ix.ov.Compact(ctx)
 	if err != nil {
-		panic(err) // a mutable index always retains its statistics
+		// A mutable index always retains its statistics, so this is a
+		// broken invariant — surfaced to InsertAll, not a panic.
+		return err
 	}
 	ix.opt.Scheme.ApplyCSR(csr)
 	pairs, retained, theta, err := freezeDecisions(ctx, csr, ix.opt)
 	if err != nil {
-		panic(err) // background context never cancels
+		return err // background context never cancels
 	}
 	ix.csr = csr
 	ix.retained = retained
@@ -911,6 +974,7 @@ func (ix *Index) rebuildDecisionsLocked() {
 	ix.pairsValid = true
 	ix.retainedEntries = 2 * int64(len(pairs))
 	ix.ov = graph.NewOverlay(csr, retained)
+	return nil
 }
 
 // cloneForServing returns an independent writable replica of a freshly
@@ -943,6 +1007,60 @@ func (ix *Index) cloneForServing() *Index {
 		retainedEntries: ix.retainedEntries,
 		buildTime:       ix.buildTime,
 	}
+}
+
+// restoreIndex reconstructs a writable serving replica from a persisted
+// snapshot plus the admitted insert batches the snapshot covers — the
+// inverse of exportSnapshot, and the core of crash recovery. The
+// expensive decision state (weights, retention, thresholds) comes from
+// the snapshot; only the cheap structural state is recomputed: the
+// batches are re-tokenized and re-appended to a clone of the seed
+// collection (so the appender's block indexes and pending keys match a
+// never-crashed replica exactly) and the CSR is rebuilt from that
+// collection. The rebuild is structurally byte-identical to the CSR the
+// snapshot was compacted from — the same determinism ensureMutableLocked
+// already relies on — which is verified entry for entry before the
+// snapshot's decision arrays are adopted; any drift (a foreign snapshot,
+// a schema change, undetected corruption) fails closed.
+func (p *Pipeline) restoreIndex(ctx context.Context, blocks *Blocks, snap *shard.Snapshot, prefix [][]model.Profile) (*Index, error) {
+	if p.opt.Supervised {
+		return nil, errSupervisedIndex
+	}
+	if blocks == nil || blocks.Collection == nil {
+		return nil, errors.New("blast: restoreIndex requires a non-nil Blocks artifact")
+	}
+	t0 := time.Now()
+	c := blocks.Collection.Clone()
+	ix := &Index{
+		kind:       c.Kind,
+		collection: c,
+		schema:     blocks.Schema,
+		opt:        p.opt,
+	}
+	ix.app = blocking.NewAppender(c)
+	for _, batch := range prefix {
+		for i := range batch {
+			ix.app.Append(ix.profileKeys(&batch[i]))
+			ix.stats.Inserts++
+		}
+	}
+	csr, err := graph.BuildCSRParallelCtx(ctx, c, p.opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if csr.NumProfiles != snap.NumProfiles ||
+		!slices.Equal(csr.Offsets, snap.Offsets) ||
+		!slices.Equal(csr.Neighbors, snap.Neighbors) {
+		return nil, errors.New("blast: snapshot does not match the adjacency rebuilt from its collection and batches")
+	}
+	csr.Weights = slices.Clone(snap.Weights)
+	ix.csr = csr
+	ix.retained = slices.Clone(snap.Retained)
+	ix.theta = slices.Clone(snap.Theta)
+	ix.retainedEntries = 2 * int64(snap.RetainedPairs)
+	ix.ov = graph.NewOverlay(csr, ix.retained)
+	ix.buildTime = time.Since(t0)
+	return ix, nil
 }
 
 // exportSnapshot compacts any pending overlay state and publishes an

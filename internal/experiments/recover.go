@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"slices"
+	"strings"
+	"time"
+
+	"blast"
+	"blast/internal/model"
+)
+
+// RecoverRow summarizes durable serving and crash recovery on one
+// registry dataset for one configuration: shard count x recovery mode.
+// Mode "snapshot" persists a snapshot every few batches so recovery is
+// newest-snapshot + WAL-suffix replay; mode "walreplay" disables
+// snapshot persistence so recovery replays the full WAL against a cold
+// build — the two bounds of the recovery cost spectrum.
+type RecoverRow struct {
+	Dataset      string `json:"dataset"`
+	Mode         string `json:"mode"` // "snapshot" or "walreplay"
+	Shards       int    `json:"shards"`
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	BaseProfiles int    `json:"base_profiles"`
+	Streamed     int    `json:"streamed"`
+	Batches      int    `json:"batches"`
+
+	// On-disk footprint after the stream: every shard's WAL holds the
+	// full batch sequence (WALBytes sums them), snapshots per policy.
+	WALBytes      int64 `json:"wal_bytes"`
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+
+	// ColdServeTime is the first durable open over the empty directory
+	// (index build + shard start), the baseline recovery competes with.
+	ColdServeTime time.Duration `json:"cold_serve_ns"`
+	// RecoveryTime is the reopen over the populated directory: WAL scan
+	// and cut, snapshot restore or cold rebuild, suffix replay, shard
+	// start. The CI gate tracks it against the committed baseline.
+	RecoveryTime time.Duration `json:"recovery_ns"`
+
+	// Match records the differential check: the recovered server's Pairs
+	// must be byte-identical to the pre-close quiesced server's. A false
+	// value fails the run (and the benchdiff gate, by name).
+	Match bool `json:"match"`
+}
+
+// recoverSnapshotEvery is the snapshot cadence of the "snapshot" mode:
+// small enough that a snapshot actually lands even at the reduced CI
+// scale (a handful of streamed batches) and the replayed WAL suffix
+// stays a fraction of the stream.
+const recoverSnapshotEvery = 2
+
+// Recover measures durable serving on one registry dataset (default
+// census: recovery cost is dominated by the rebuild, so the mid-size
+// dataset keeps CI honest and fast) across shard counts (default 1, 2)
+// and both recovery modes.
+func Recover(cfg Config, name string, shardCounts []int) ([]RecoverRow, error) {
+	if name == "" {
+		name = "census"
+	}
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2}
+	}
+	full, err := cfg.load(name)
+	if err != nil {
+		return nil, err
+	}
+	base, stream := splitStream(full)
+	p, err := blast.NewPipeline(blast.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	sch, err := p.InduceSchema(ctx, base)
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := p.Block(ctx, base, sch)
+	if err != nil {
+		return nil, err
+	}
+	var rows []RecoverRow
+	for _, sc := range shardCounts {
+		for _, mode := range []string{"snapshot", "walreplay"} {
+			row, err := recoverOne(p, blocks, base, stream, sc, mode)
+			if err != nil {
+				return nil, fmt.Errorf("%s shards=%d mode=%s: %w", name, sc, mode, err)
+			}
+			row.Dataset = name
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// recoverOne runs one open -> stream -> close -> reopen cycle and
+// checks the recovered state against the pre-close one.
+func recoverOne(p *blast.Pipeline, blocks *blast.Blocks, base *model.Dataset, stream []model.Profile, shards int, mode string) (RecoverRow, error) {
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "blast-recover-*")
+	if err != nil {
+		return RecoverRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	snapEvery := recoverSnapshotEvery
+	if mode == "walreplay" {
+		snapEvery = -1
+	}
+	sopt := blast.ServerOptions{
+		Shards: shards, SwapOps: serveSwapOps,
+		Dir: dir, SyncEvery: 1, SnapshotEvery: snapEvery,
+	}
+	t0 := time.Now()
+	srv, err := p.ServeBlocks(ctx, blocks, sopt)
+	if err != nil {
+		return RecoverRow{}, err
+	}
+	row := RecoverRow{
+		Mode:          mode,
+		Shards:        shards,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		BaseProfiles:  base.NumProfiles(),
+		Streamed:      len(stream),
+		ColdServeTime: time.Since(t0),
+	}
+	if err := insertBatches(stream, func(b []model.Profile) error {
+		row.Batches++
+		_, err := srv.InsertAll(ctx, b)
+		return err
+	}); err != nil {
+		srv.Close()
+		return RecoverRow{}, err
+	}
+	if err := srv.Quiesce(ctx); err != nil {
+		srv.Close()
+		return RecoverRow{}, err
+	}
+	want, err := srv.Pairs(ctx)
+	if err != nil {
+		srv.Close()
+		return RecoverRow{}, err
+	}
+	if err := srv.Close(); err != nil {
+		return RecoverRow{}, err
+	}
+	row.WALBytes = dirBytes(filepath.Join(dir, "wal"))
+	row.SnapshotBytes = dirBytes(filepath.Join(dir, "snap"))
+
+	t1 := time.Now()
+	srv2, err := p.ServeBlocks(ctx, blocks, sopt)
+	if err != nil {
+		return RecoverRow{}, fmt.Errorf("reopen: %w", err)
+	}
+	row.RecoveryTime = time.Since(t1)
+	defer srv2.Close()
+	got, err := srv2.Pairs(ctx)
+	if err != nil {
+		return RecoverRow{}, err
+	}
+	row.Match = slices.Equal(want, got)
+	if !row.Match {
+		// The experiment doubles as a real-dataset recovery check; a
+		// divergence must fail the run, not annotate a row.
+		return RecoverRow{}, fmt.Errorf("recovered server diverged (%d vs %d pairs)", len(got), len(want))
+	}
+	return row, nil
+}
+
+// dirBytes sums the file sizes under a directory tree.
+func dirBytes(dir string) int64 {
+	var total int64
+	filepath.WalkDir(dir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if info, err := d.Info(); err == nil {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total
+}
+
+// RenderRecover formats the recovery series.
+func RenderRecover(rows []RecoverRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "durable serving: WAL + snapshot persistence and crash recovery\n")
+	fmt.Fprintf(&b, "%-8s %-10s %7s %8s %8s %10s %10s %12s %12s %6s\n",
+		"dataset", "mode", "shards", "streamed", "batches", "wal", "snap", "cold-serve", "recovery", "match")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-10s %7d %8d %8d %9dK %9dK %12s %12s %6v\n",
+			r.Dataset, r.Mode, r.Shards, r.Streamed, r.Batches,
+			r.WALBytes/1024, r.SnapshotBytes/1024, r.ColdServeTime, r.RecoveryTime, r.Match)
+	}
+	return b.String()
+}
+
+// RecoverJSON renders the rows as indented JSON (the CI artifact
+// BENCH_recover.json).
+func RecoverJSON(rows []RecoverRow) ([]byte, error) {
+	return json.MarshalIndent(rows, "", "  ")
+}

@@ -43,6 +43,11 @@ type Options struct {
 	// MinOverlayEntries suppresses the overlay trigger below this many
 	// overlay entries.
 	MinOverlayEntries int
+	// Persist, when non-nil, observes every published snapshot from the
+	// worker goroutine, after the swap — the durability hook. A persist
+	// error is sticky: readers keep the (already swapped) snapshot, but
+	// the shard reports the failure like an apply error.
+	Persist func(*Snapshot) error
 }
 
 // Stats is a point-in-time summary of one shard.
@@ -56,6 +61,9 @@ type Stats struct {
 	// Applied is the number of profiles the worker has applied to the
 	// writable index (published or not).
 	Applied int64
+	// Batches is the number of insert batches applied successfully —
+	// the shard's position in the globally sequenced insert stream.
+	Batches int64
 	// Swaps counts snapshot publications after the initial one.
 	Swaps int64
 	// Queued is the number of operations waiting in the mailbox.
@@ -97,6 +105,7 @@ type Shard struct {
 	closed    bool
 	err       error // first apply/publish error; sticky
 	applied   int64
+	batches   int64 // insert batches applied successfully
 	swaps     int64
 	applyTime time.Duration
 
@@ -147,6 +156,7 @@ func (s *Shard) Stats() Stats {
 		Epoch:     snap.Epoch,
 		Published: snap.NumProfiles,
 		Applied:   s.applied,
+		Batches:   s.batches,
 		Swaps:     s.swaps,
 		Queued:    len(s.queue),
 		ApplyTime: s.applyTime,
@@ -242,6 +252,13 @@ func (s *Shard) loop() {
 	for {
 		o, ok := s.next()
 		if !ok {
+			// Final drain complete: publish anything applied since the
+			// last swap so post-Close reads observe the full admitted
+			// sequence on every shard — without this, shards whose last
+			// batches fell between swap points would serve different
+			// prefixes forever. The error (if any) is sticky and
+			// surfaces through Close/Err.
+			_ = s.publishIfBehind()
 			return
 		}
 		if len(o.profiles) > 0 {
@@ -272,6 +289,9 @@ func (s *Shard) apply(profiles []model.Profile) {
 		s.err = fmt.Errorf("shard %d: apply: %w", s.id, err)
 	}
 	failed := s.err != nil
+	if !failed {
+		s.batches++
+	}
 	s.mu.Unlock()
 	if failed {
 		return
@@ -309,7 +329,8 @@ func (s *Shard) publishIfBehind() error {
 }
 
 // publish exports a snapshot from the writer and swaps it in, tagging
-// it with the next epoch.
+// it with the next epoch and the insert-stream position it covers, then
+// hands it to the Persist hook.
 func (s *Shard) publish() error {
 	snap, err := s.w.Export(context.Background())
 	if err != nil {
@@ -322,10 +343,24 @@ func (s *Shard) publish() error {
 		return err
 	}
 	snap.Epoch = s.snap.Load().Epoch + 1
+	s.mu.Lock()
+	snap.Batches = s.batches
+	s.mu.Unlock()
 	s.snap.Store(snap)
 	s.sinceSwap = 0
 	s.mu.Lock()
 	s.swaps++
 	s.mu.Unlock()
+	if s.opt.Persist != nil {
+		if err := s.opt.Persist(snap); err != nil {
+			s.mu.Lock()
+			if s.err == nil {
+				s.err = fmt.Errorf("shard %d: persist: %w", s.id, err)
+			}
+			err = s.err
+			s.mu.Unlock()
+			return err
+		}
+	}
 	return nil
 }

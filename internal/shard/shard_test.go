@@ -222,6 +222,68 @@ func TestShardCloseDrainsAndStops(t *testing.T) {
 	}
 }
 
+// TestShardBatchesAndPersistHook pins the durability contract of the
+// worker: published snapshots carry the batch cursor, the Persist hook
+// sees every publication, a closing drain publishes the tail, and a
+// persist failure is sticky.
+func TestShardBatchesAndPersistHook(t *testing.T) {
+	var persisted []int64
+	w := &fakeWriter{}
+	s := New(0, w, &Snapshot{}, Options{SwapOps: 2, Persist: func(sn *Snapshot) error {
+		persisted = append(persisted, sn.Batches)
+		return nil
+	}})
+	for i := 0; i < 5; i++ {
+		if err := s.Enqueue(profiles(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Barrier(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if snap.Batches != 5 {
+		t.Fatalf("published Batches = %d, want 5", snap.Batches)
+	}
+	if st := s.Stats(); st.Batches != 5 {
+		t.Fatalf("stats Batches = %d, want 5", st.Batches)
+	}
+	// SwapOps 2 over 5 single-profile batches: publications at 2, 4 and
+	// the barrier's 5 — the hook observed each, in order.
+	if len(persisted) != 3 || persisted[0] != 2 || persisted[1] != 4 || persisted[2] != 5 {
+		t.Fatalf("persisted cursor sequence = %v", persisted)
+	}
+	// Close with unpublished tail: the drain publishes (and persists).
+	if err := s.Enqueue(profiles(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Snapshot().Batches; got != 6 {
+		t.Fatalf("post-Close Batches = %d, want 6 (close drain must publish)", got)
+	}
+	if persisted[len(persisted)-1] != 6 {
+		t.Fatalf("close-drain publication not persisted: %v", persisted)
+	}
+}
+
+func TestShardPersistErrorSticky(t *testing.T) {
+	boom := errors.New("disk full")
+	w := &fakeWriter{}
+	s := New(0, w, &Snapshot{}, Options{Persist: func(*Snapshot) error { return boom }})
+	defer s.Close()
+	if err := s.Enqueue(profiles(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Barrier(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("barrier err = %v, want %v", err, boom)
+	}
+	if err := s.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err() = %v, want sticky persist error", err)
+	}
+}
+
 func TestShardBarrierContext(t *testing.T) {
 	w := &fakeWriter{slow: 50 * time.Millisecond}
 	s := New(0, w, &Snapshot{}, Options{})

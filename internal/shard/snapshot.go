@@ -66,6 +66,15 @@ type Snapshot struct {
 	// epoch 0 and every swap increments it. Within one shard, a higher
 	// epoch observes a superset (longer prefix) of the insert sequence.
 	Epoch uint64
+	// Batches is the snapshot's position in the globally sequenced
+	// insert stream: the number of admitted insert batches it covers.
+	// Every shard of a server applies the same batch sequence in the
+	// same order, so two snapshots from different shards with equal
+	// Batches were derived from identical replica states — the
+	// cross-shard consistency token of multi-shard reads — and on disk
+	// it is the WAL replay cursor: recovery restores the snapshot and
+	// replays exactly the records past this count.
+	Batches int64
 	// NumProfiles is the number of profiles the snapshot covers.
 	NumProfiles int
 	// NumEdges is the number of distinct comparisons of the blocking

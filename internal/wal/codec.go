@@ -1,0 +1,102 @@
+package wal
+
+// The WAL payload codec for insert batches. One record is one admitted
+// InsertAll batch; the encoding is a plain deterministic concatenation
+// (uvarint counts, length-prefixed strings) so identical batches encode
+// to identical bytes on every shard's log — recovery relies on that to
+// cross-check the per-shard logs record for record.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"blast/internal/model"
+)
+
+// AppendBatch encodes a batch of profiles onto dst and returns the
+// extended slice.
+func AppendBatch(dst []byte, batch []model.Profile) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(batch)))
+	for i := range batch {
+		p := &batch[i]
+		dst = appendString(dst, p.ID)
+		dst = binary.AppendUvarint(dst, uint64(len(p.Pairs)))
+		for _, pr := range p.Pairs {
+			dst = appendString(dst, pr.Name)
+			dst = appendString(dst, pr.Value)
+		}
+	}
+	return dst
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+var errTruncatedBatch = errors.New("wal: truncated batch encoding")
+
+// DecodeBatch decodes one batch payload. Every length is bounds-checked
+// against the remaining bytes before any allocation, and trailing bytes
+// are an error, so arbitrary (fuzzed or corrupted) input yields an error
+// rather than a panic or an over-allocation.
+func DecodeBatch(data []byte) ([]model.Profile, error) {
+	n, data, err := decodeUvarint(data)
+	if err != nil {
+		return nil, err
+	}
+	// A profile encodes to at least two bytes (empty id, zero pairs).
+	if n > uint64(len(data)/2)+1 {
+		return nil, fmt.Errorf("wal: batch claims %d profiles in %d bytes", n, len(data))
+	}
+	batch := make([]model.Profile, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var p model.Profile
+		if p.ID, data, err = decodeString(data); err != nil {
+			return nil, err
+		}
+		var np uint64
+		if np, data, err = decodeUvarint(data); err != nil {
+			return nil, err
+		}
+		if np > uint64(len(data)/2)+1 {
+			return nil, fmt.Errorf("wal: profile claims %d pairs in %d bytes", np, len(data))
+		}
+		p.Pairs = make([]model.Pair, 0, np)
+		for j := uint64(0); j < np; j++ {
+			var pr model.Pair
+			if pr.Name, data, err = decodeString(data); err != nil {
+				return nil, err
+			}
+			if pr.Value, data, err = decodeString(data); err != nil {
+				return nil, err
+			}
+			p.Pairs = append(p.Pairs, pr)
+		}
+		batch = append(batch, p)
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("wal: %d trailing bytes after batch", len(data))
+	}
+	return batch, nil
+}
+
+func decodeUvarint(data []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, errTruncatedBatch
+	}
+	return v, data[n:], nil
+}
+
+func decodeString(data []byte) (string, []byte, error) {
+	n, data, err := decodeUvarint(data)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(len(data)) {
+		return "", nil, errTruncatedBatch
+	}
+	return string(data[:n]), data[n:], nil
+}

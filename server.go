@@ -62,6 +62,7 @@ type Server struct {
 	kind     model.Kind
 	shards   []*shard.Shard
 	replicas []*Index
+	dur      *durability // nil unless ServerOptions.Dir was set
 
 	mu     sync.Mutex
 	nextID int
@@ -94,9 +95,19 @@ func (p *Pipeline) Serve(ctx context.Context, ds *model.Dataset, sopt ServerOpti
 // each replica's pruning re-derivations run on that many goroutines,
 // and because the parallel pruning is byte-deterministic the replicas
 // stay identical at any worker count.
+//
+// With ServerOptions.Dir set the server is durable: admitted batches
+// are journaled to per-shard write-ahead logs before ids are returned,
+// published snapshots are persisted on the SnapshotEvery cadence, and
+// ServeBlocks over an existing directory recovers the pre-crash state
+// (newest usable snapshot per shard plus WAL suffix replay) instead of
+// starting empty. See durable.go for the layout and recovery rules.
 func (p *Pipeline) ServeBlocks(ctx context.Context, blocks *Blocks, sopt ServerOptions) (*Server, error) {
 	if err := sopt.Validate(); err != nil {
 		return nil, err
+	}
+	if sopt.Dir != "" {
+		return p.serveDurable(ctx, blocks, sopt)
 	}
 	master, err := p.indexBlocks(ctx, blocks, true)
 	if err != nil {
@@ -107,14 +118,7 @@ func (p *Pipeline) ServeBlocks(ctx context.Context, blocks *Blocks, sopt ServerO
 		return nil, err
 	}
 	n := sopt.shards()
-	shOpt := shard.Options{
-		SwapOps:            sopt.swapOps(),
-		MaxOverlayFraction: p.opt.Compaction.maxFraction(),
-		MinOverlayEntries:  p.opt.Compaction.minEntries(),
-	}
-	if p.opt.Compaction.disabled() {
-		shOpt.MaxOverlayFraction = 0
-	}
+	shOpt := p.shardOptions(sopt)
 	srv := &Server{
 		kind:     master.Kind(),
 		shards:   make([]*shard.Shard, n),
@@ -131,6 +135,22 @@ func (p *Pipeline) ServeBlocks(ctx context.Context, blocks *Blocks, sopt ServerO
 		srv.shards[i] = shard.New(i, indexWriter{rep}, initial, shOpt)
 	}
 	return srv, nil
+}
+
+// shardOptions derives the shard worker knobs shared by the in-memory
+// and durable construction paths: the pipeline's Compaction settings
+// drive the shard-level swap trigger, with replica auto-compaction
+// disabled separately by the caller.
+func (p *Pipeline) shardOptions(sopt ServerOptions) shard.Options {
+	shOpt := shard.Options{
+		SwapOps:            sopt.swapOps(),
+		MaxOverlayFraction: p.opt.Compaction.maxFraction(),
+		MinOverlayEntries:  p.opt.Compaction.minEntries(),
+	}
+	if p.opt.Compaction.disabled() {
+		shOpt.MaxOverlayFraction = 0
+	}
+	return shOpt
 }
 
 // NumShards returns the number of shard workers.
@@ -170,8 +190,15 @@ func (s *Server) Stats() []shard.Stats {
 	return out
 }
 
-// Err returns the first error any shard worker encountered, if any.
+// Err returns the first error the serving machinery encountered, if
+// any: a poisoned durability layer (WAL divergence) or a failed shard
+// worker. A non-nil result is sticky and fails all further admissions.
 func (s *Server) Err() error {
+	if s.dur != nil {
+		if err := s.dur.err(); err != nil {
+			return err
+		}
+	}
 	for _, sh := range s.shards {
 		if err := sh.Err(); err != nil {
 			return err
@@ -225,6 +252,14 @@ func (s *Server) InsertAll(ctx context.Context, profiles []model.Profile) ([]int
 	for i := range profiles {
 		batch[i] = profiles[i]
 		batch[i].Pairs = slices.Clone(profiles[i].Pairs)
+	}
+	// Durable servers journal the batch before admitting it: once ids
+	// are returned the batch survives a crash (to the fsync policy), and
+	// a batch that could not be journaled is not admitted at all.
+	if s.dur != nil {
+		if err := s.dur.appendBatch(batch); err != nil {
+			return nil, err
+		}
 	}
 	// Enqueues cannot fail here — the server lock excludes Close, and a
 	// shard mailbox never rejects otherwise — so the broadcast is
@@ -284,17 +319,75 @@ func (s *Server) Epoch(profile int) uint64 {
 	return s.owner(profile).Snapshot().Epoch
 }
 
+// consistentSnapshots captures one published snapshot per shard such
+// that all sit at the same position of the global insert sequence
+// (equal Snapshot.Batches — replica determinism then makes them views
+// of one state). A plain per-shard capture does not guarantee this:
+// shards publish independently, so a pair of loads can observe shard 0
+// before batch k and shard 1 after it. The capture is retried
+// optimistically a few times (publications are rare relative to reads);
+// if writers keep moving the shards it falls back to holding the server
+// lock — excluding new admissions — and barriering every shard so all
+// publications land at the same final cursor.
+func (s *Server) consistentSnapshots(ctx context.Context) ([]*shard.Snapshot, error) {
+	capture := func() ([]*shard.Snapshot, bool) {
+		snaps := make([]*shard.Snapshot, len(s.shards))
+		for i, sh := range s.shards {
+			snaps[i] = sh.Snapshot()
+			if snaps[i].Batches != snaps[0].Batches {
+				return nil, false
+			}
+		}
+		return snaps, true
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		if snaps, ok := capture(); ok {
+			return snaps, nil
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		// Close stopped the workers; each drains fully on Close, so once
+		// every Close has returned the cursors agree. Re-closing is
+		// idempotent and waits for exactly that.
+		for _, sh := range s.shards {
+			_ = sh.Close()
+		}
+		if snaps, ok := capture(); ok {
+			return snaps, nil
+		}
+		if err := s.Err(); err != nil {
+			return nil, err
+		}
+		return nil, errors.New("blast: closed shards disagree on the insert sequence")
+	}
+	// No admissions can interleave while we hold the lock, so after the
+	// barriers every shard has published the full admitted sequence.
+	if err := s.barrierAll(ctx); err != nil {
+		return nil, err
+	}
+	if snaps, ok := capture(); ok {
+		return snaps, nil
+	}
+	return nil, errors.New("blast: quiesced shards disagree on the insert sequence")
+}
+
 // Pairs returns every retained comparison in canonical order by fanning
 // the enumeration out across the shards — each walks only the rows it
-// owns in its published snapshot — and merging the ordered streams.
-// On a quiesced server the result is byte-identical to Index.Pairs of a
-// cold IndexBlocks over the union collection.
+// owns in its published snapshot — and merging the ordered streams. The
+// per-shard snapshots are captured at one common position of the insert
+// sequence, so the result is always a consistent state the server
+// actually passed through (on a quiesced server, byte-identical to
+// Index.Pairs of a cold IndexBlocks over the union collection).
 func (s *Server) Pairs(ctx context.Context) ([]model.IDPair, error) {
 	n := len(s.shards)
-	snaps := make([]*shard.Snapshot, n)
+	snaps, err := s.consistentSnapshots(ctx)
+	if err != nil {
+		return nil, err
+	}
 	rows := 0
-	for i, sh := range s.shards {
-		snaps[i] = sh.Snapshot()
+	for i := range snaps {
 		if snaps[i].NumProfiles > rows {
 			rows = snaps[i].NumProfiles
 		}
@@ -329,8 +422,21 @@ func (s *Server) Pairs(ctx context.Context) ([]model.IDPair, error) {
 // admitted batches applied, overlays compacted, snapshots swapped. When
 // it returns nil, every read (on any shard) observes every insert
 // admitted before the call. Barriers run on all shards concurrently;
-// ctx bounds only the wait.
+// ctx bounds only the wait. On a closed server Quiesce reports
+// shard.ErrClosed (Close already established the drained state).
 func (s *Server) Quiesce(ctx context.Context) error {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return shard.ErrClosed
+	}
+	return s.barrierAll(ctx)
+}
+
+// barrierAll barriers every shard concurrently and reports the most
+// meaningful failure (see firstError).
+func (s *Server) barrierAll(ctx context.Context) error {
 	errs := make([]error, len(s.shards))
 	var wg sync.WaitGroup
 	for i, sh := range s.shards {
@@ -341,12 +447,25 @@ func (s *Server) Quiesce(ctx context.Context) error {
 		}(i, sh)
 	}
 	wg.Wait()
+	return firstError(errs)
+}
+
+// firstError picks the most meaningful error out of a per-shard batch:
+// a real failure (a sticky worker error, a context timeout) beats the
+// bare shard.ErrClosed that healthy shards report when racing Close.
+func firstError(errs []error) error {
+	var closed error
 	for _, err := range errs {
-		if err != nil {
-			return err
+		if err == nil {
+			continue
 		}
+		if errors.Is(err, shard.ErrClosed) {
+			closed = err
+			continue
+		}
+		return err
 	}
-	return nil
+	return closed
 }
 
 // Blocks returns the live block collection of the first replica — on a
@@ -363,9 +482,12 @@ func (s *Server) Schema() *Schema {
 }
 
 // Close stops the shard workers after they drain every admitted batch,
-// and returns the first shard error, if any. Reads remain valid on the
-// last published snapshots; Insert, InsertAll and Quiesce fail after
-// Close. Close is idempotent.
+// syncs and releases the write-ahead logs of a durable server, and
+// returns the first error encountered. Every resource is released even
+// when a shard reports a failure — a dead worker must not leak the
+// others or the logs. Reads remain valid on the last published
+// snapshots; Insert, InsertAll and Quiesce fail after Close. Close is
+// idempotent.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -374,20 +496,20 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
-	errs := make([]error, len(s.shards))
+	errs := make([]error, 0, len(s.shards)+1)
+	shErrs := make([]error, len(s.shards))
 	var wg sync.WaitGroup
 	for i, sh := range s.shards {
 		wg.Add(1)
 		go func(i int, sh *shard.Shard) {
 			defer wg.Done()
-			errs[i] = sh.Close()
+			shErrs[i] = sh.Close()
 		}(i, sh)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	errs = append(errs, shErrs...)
+	if s.dur != nil {
+		errs = append(errs, s.dur.close())
 	}
-	return nil
+	return firstError(errs)
 }
