@@ -303,6 +303,7 @@ func (p *Pipeline) serveDurable(ctx context.Context, blocks *Blocks, sopt Server
 	closeLogs := func() {
 		for _, l := range logs {
 			if l != nil {
+				//blast:allow syncerr -- recovery is already failing with a primary error; this close is a best-effort descriptor release and must not mask it (nothing was admitted on these logs)
 				l.Close()
 			}
 		}
@@ -409,7 +410,9 @@ func (p *Pipeline) serveDurable(ctx context.Context, blocks *Blocks, sopt Server
 				closeLogs()
 				return nil, err
 			}
+			//blast:allow snapshotmut -- pre-publication tag of a freshly exported private snapshot; no reader can hold it before shard.New
 			es.Epoch = epochs[i]
+			//blast:allow snapshotmut -- pre-publication tag of a freshly exported private snapshot; no reader can hold it before shard.New
 			es.Batches = int64(cut)
 			snap = es
 		}

@@ -67,8 +67,12 @@ func (g *CSR) Degree(i int) int { return int(g.Offsets[i+1] - g.Offsets[i]) }
 // the allocator before the pruning passes run.
 func (g *CSR) ReleaseStats() { g.Common, g.ARCS, g.EntropySum = nil, nil, nil }
 
-// csrCancelCheckEvery is the node-chunk granularity at which the CSR
-// builders and ctx-aware iterators poll for cancellation.
+// csrCancelCheckEvery is the granularity at which the CSR builders and
+// ctx-aware iterators poll for cancellation: every so many nodes on the
+// outer walk AND every so many entries inside a single adjacency run,
+// so one hub node with a multi-million-entry run cannot delay
+// cancellation arbitrarily (the same edge-segment contract the chunked
+// pruning passes honor).
 const csrCancelCheckEvery = 1024
 
 // Canonical invokes fn for every canonical (u < v) entry in ascending
@@ -78,11 +82,13 @@ func (g *CSR) Canonical(fn func(u, v int32, p int64)) {
 	_ = g.CanonicalCtx(context.Background(), fn)
 }
 
-// CanonicalCtx is Canonical with cooperative cancellation: it checks ctx
-// every few thousand nodes and stops early, returning ctx.Err(). Entries
-// already visited have been passed to fn; callers must discard partial
-// results on error.
+// CanonicalCtx is Canonical with cooperative cancellation: it polls ctx
+// every few thousand nodes and at edge-segment granularity inside each
+// adjacency run, stopping early with ctx.Err(). Entries already visited
+// have been passed to fn; callers must discard partial results on
+// error.
 func (g *CSR) CanonicalCtx(ctx context.Context, fn func(u, v int32, p int64)) error {
+	budget := int64(csrCancelCheckEvery)
 	for u := 0; u < g.NumProfiles; u++ {
 		if u%csrCancelCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {
@@ -90,9 +96,21 @@ func (g *CSR) CanonicalCtx(ctx context.Context, fn func(u, v int32, p int64)) er
 			}
 		}
 		end := g.Offsets[u+1]
-		for p := g.Offsets[u]; p < end; p++ {
-			if v := g.Neighbors[p]; int(v) > u {
-				fn(int32(u), v, p)
+		for p := g.Offsets[u]; p < end; {
+			seg := end - p
+			if seg > budget {
+				seg = budget
+			}
+			for stop := p + seg; p < stop; p++ {
+				if v := g.Neighbors[p]; int(v) > u {
+					fn(int32(u), v, p)
+				}
+			}
+			if budget -= seg; budget == 0 {
+				budget = csrCancelCheckEvery
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -136,6 +154,7 @@ func (g *CSR) MirrorEntry(u, v int32) int64 {
 // with the same early-stop contract as CanonicalCtx.
 func (g *CSR) CanonicalMirrorCtx(ctx context.Context, fn func(u, v int32, p, mp int64)) error {
 	cursors := make([]int64, g.NumProfiles)
+	budget := int64(csrCancelCheckEvery)
 	for u := 0; u < g.NumProfiles; u++ {
 		if u%csrCancelCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {
@@ -143,14 +162,26 @@ func (g *CSR) CanonicalMirrorCtx(ctx context.Context, fn func(u, v int32, p, mp 
 			}
 		}
 		end := g.Offsets[u+1]
-		for p := g.Offsets[u]; p < end; p++ {
-			v := g.Neighbors[p]
-			if int(v) < u {
-				continue // reverse entry; visited from its canonical side
+		for p := g.Offsets[u]; p < end; {
+			seg := end - p
+			if seg > budget {
+				seg = budget
 			}
-			mp := g.Offsets[v] + cursors[v]
-			cursors[v]++
-			fn(int32(u), v, p, mp)
+			for stop := p + seg; p < stop; p++ {
+				v := g.Neighbors[p]
+				if int(v) < u {
+					continue // reverse entry; visited from its canonical side
+				}
+				mp := g.Offsets[v] + cursors[v]
+				cursors[v]++
+				fn(int32(u), v, p, mp)
+			}
+			if budget -= seg; budget == 0 {
+				budget = csrCancelCheckEvery
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return nil

@@ -318,8 +318,10 @@ func (o *Overlay) SetRetained(n int32, pos int, v bool) bool {
 // ForEachCanonical invokes fn for every canonical (u < v) live entry in
 // ascending (u, v) order with its weight and retention mark — the order
 // Pairs materialization and the streaming pruners use. Polls ctx at
-// node-chunk granularity.
+// node-chunk granularity and at edge-segment granularity inside each
+// run, so a hub row cannot delay cancellation arbitrarily.
 func (o *Overlay) ForEachCanonical(ctx context.Context, fn func(u, v int32, w float64, retained bool)) error {
+	budget := csrCancelCheckEvery
 	for n := 0; n < o.numProfiles; n++ {
 		if n%csrCancelCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {
@@ -327,9 +329,21 @@ func (o *Overlay) ForEachCanonical(ctx context.Context, fn func(u, v int32, w fl
 			}
 		}
 		run := o.Run(int32(n))
-		for i, v := range run.Neighbors {
-			if int(v) > n {
-				fn(int32(n), v, run.Weights[i], run.Retained[i])
+		for i := 0; i < len(run.Neighbors); {
+			seg := len(run.Neighbors) - i
+			if seg > budget {
+				seg = budget
+			}
+			for stop := i + seg; i < stop; i++ {
+				if v := run.Neighbors[i]; int(v) > n {
+					fn(int32(n), v, run.Weights[i], run.Retained[i])
+				}
+			}
+			if budget -= seg; budget == 0 {
+				budget = csrCancelCheckEvery
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -377,6 +391,7 @@ func (o *Overlay) Compact(ctx context.Context) (*CSR, []bool, error) {
 			g.EntropySum = append(g.EntropySum, run.EntropySum...)
 		} else {
 			// Empty base run with released stats: nothing to copy.
+			//blast:allow ctxpoll -- zero-fill over one already-materialized run; the node-granularity poll above bounds the delay and this is memory-bandwidth work, not comparison work
 			for range run.Neighbors {
 				g.Common = append(g.Common, 0)
 				g.ARCS = append(g.ARCS, 0)

@@ -131,6 +131,11 @@ func BuildParallelCtx(ctx context.Context, c *blocking.Collection, workers int) 
 	})
 	g.Degrees = make([]int32, c.NumProfiles)
 	for i := range g.Edges {
+		if i%csrCancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		g.Degrees[g.Edges[i].U]++
 		g.Degrees[g.Edges[i].V]++
 	}

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllowAnalyzerName is the pseudo-analyzer that reports malformed or
+// stale suppression comments. It is not suppressible.
+const AllowAnalyzerName = "allow"
+
+// An allowComment is one parsed //blast:allow directive.
+type allowComment struct {
+	pos      token.Pos
+	file     string
+	line     int
+	analyzer string
+	// justification is the mandatory text after "--". An allow without
+	// one is invalid: it suppresses nothing and is itself reported, so
+	// deleting a justification turns the build red.
+	justification string
+	used          bool
+}
+
+// collectAllows parses every //blast:allow comment in the files.
+func collectAllows(fset *token.FileSet, files []*ast.File) []*allowComment {
+	var out []*allowComment
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "blast:allow") {
+					continue
+				}
+				rest := strings.TrimPrefix(text, "blast:allow")
+				a := &allowComment{pos: c.Pos()}
+				pos := fset.Position(c.Pos())
+				a.file, a.line = pos.Filename, pos.Line
+				if cut := strings.Index(rest, "--"); cut >= 0 {
+					a.analyzer = firstField(rest[:cut])
+					a.justification = strings.TrimSpace(rest[cut+2:])
+				} else {
+					// No justification separator: the analyzer name is the
+					// first token; anything after it (including trailing
+					// comment text) does not make the allow valid.
+					a.analyzer = firstField(rest)
+				}
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// applySuppressions drops diagnostics covered by a valid allow comment
+// on the same line or the line immediately above, then appends
+// validation diagnostics for malformed, unknown or unused allows.
+func applySuppressions(fset *token.FileSet, allows []*allowComment, diags []Diagnostic, known map[string]bool) []Diagnostic {
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	index := make(map[key]*allowComment, len(allows))
+	for _, a := range allows {
+		if a.analyzer == "" || a.justification == "" || !known[a.analyzer] {
+			continue // invalid allows never suppress
+		}
+		// The comment covers its own line (end-of-line form) and the
+		// next line (standalone form above the flagged statement).
+		index[key{a.file, a.line, a.analyzer}] = a
+		index[key{a.file, a.line + 1, a.analyzer}] = a
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if a, ok := index[key{pos.Filename, pos.Line, d.Analyzer}]; ok {
+			a.used = true
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, a := range allows {
+		switch {
+		case a.analyzer == "" || !known[a.analyzer]:
+			kept = append(kept, Diagnostic{
+				Analyzer: AllowAnalyzerName,
+				Pos:      a.pos,
+				Message:  "blast:allow names unknown analyzer " + quoteName(a.analyzer),
+			})
+		case a.justification == "":
+			kept = append(kept, Diagnostic{
+				Analyzer: AllowAnalyzerName,
+				Pos:      a.pos,
+				Message:  "blast:allow " + a.analyzer + " requires a justification: //blast:allow " + a.analyzer + " -- <why this site is exempt>",
+			})
+		case !a.used:
+			kept = append(kept, Diagnostic{
+				Analyzer: AllowAnalyzerName,
+				Pos:      a.pos,
+				Message:  "blast:allow " + a.analyzer + " suppresses nothing here; delete the stale exception",
+			})
+		}
+	}
+	return kept
+}
+
+// firstField returns the first whitespace-separated token of s, or "".
+func firstField(s string) string {
+	if fields := strings.Fields(s); len(fields) > 0 {
+		return fields[0]
+	}
+	return ""
+}
+
+// quoteName quotes a possibly-empty analyzer name for a message.
+func quoteName(s string) string {
+	if s == "" {
+		return `"" (missing name)`
+	}
+	return `"` + s + `"`
+}

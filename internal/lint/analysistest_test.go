@@ -1,0 +1,110 @@
+package lint
+
+// This file is the golden-diagnostic harness, modeled on
+// golang.org/x/tools/go/analysis/analysistest: fixture packages under
+// testdata/src carry `// want `+"`regex`"+` comments on the lines where
+// diagnostics must appear, and a test fails on any unexpected or
+// missing diagnostic. Fixtures are loaded through a catch-all mount at
+// testdata/src, so they can import stub dependency packages (such as
+// blast/internal/shard) by their real paths, and analyzers run
+// unscoped — the scope table is the runner's concern, tested
+// separately.
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantPatternRE extracts the quoted patterns of one want comment:
+// backquoted or double-quoted strings after the "want " marker.
+var wantPatternRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// expectation is one unmatched want pattern at a file:line.
+type expectation struct {
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// runGolden loads the fixture package at testdata/src/<pkgPath>, runs
+// the analyzers unscoped, and checks the diagnostics against the
+// fixture's want comments.
+func runGolden(t *testing.T, analyzers []*Analyzer, pkgPath string) {
+	t.Helper()
+	src, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader(map[string]string{"": src})
+	pkg, err := loader.Load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+	diags, err := RunPackage(pkg, analyzers, false)
+	if err != nil {
+		t.Fatalf("running %s: %v", pkgPath, err)
+	}
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", key, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched want %q", key, w.pattern)
+			}
+		}
+	}
+}
+
+// collectWants parses every want comment in the package into
+// expectations keyed by "filename:line".
+func collectWants(t *testing.T, pkg *Package) map[string][]*expectation {
+	t.Helper()
+	wants := map[string][]*expectation{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, raw := range wantPatternRE.FindAllString(c.Text[idx+len("want "):], -1) {
+					text := raw
+					if strings.HasPrefix(raw, `"`) {
+						unq, err := strconv.Unquote(raw)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", key, raw, err)
+						}
+						text = unq
+					} else {
+						text = strings.Trim(raw, "`")
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, text, err)
+					}
+					wants[key] = append(wants[key], &expectation{pattern: re})
+				}
+			}
+		}
+	}
+	return wants
+}

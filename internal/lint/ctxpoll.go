@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxPoll flags loops over CSR adjacency or edge ranges whose body
+// never polls for cancellation, in functions that have a cancellation
+// source available. PR 5 pinned polling at edge-segment granularity —
+// even inside a single hub node's multi-million-entry adjacency run —
+// so a pruning or graph pass can never delay cancellation arbitrarily.
+// A loop bounded by adjacency extent (Offsets/Neighbors/Edges/NumEdges)
+// re-opens that window unless it ticks the cancellation budget or
+// checks ctx.Err in its body. Functions without a context (or a worker
+// carrying one) are exempt: they cannot poll.
+var CtxPoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc: "flags CSR adjacency/edge loops with no cancellation poll in " +
+		"the loop body, in functions that carry a context",
+	Run: runCtxPoll,
+}
+
+// adjacencySelectors are the field/method names whose appearance in a
+// loop extent marks it as iterating adjacency or edge ranges.
+var adjacencySelectors = map[string]bool{
+	"Offsets": true, "Neighbors": true, "Edges": true, "NumEdges": true,
+}
+
+func runCtxPoll(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasCancellationSource(pass, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				var extent []ast.Expr
+				var body *ast.BlockStmt
+				switch loop := n.(type) {
+				case *ast.ForStmt:
+					if loop.Init != nil {
+						if as, ok := loop.Init.(*ast.AssignStmt); ok {
+							extent = append(extent, as.Rhs...)
+						}
+					}
+					if loop.Cond != nil {
+						extent = append(extent, loop.Cond)
+					}
+					body = loop.Body
+				case *ast.RangeStmt:
+					extent = append(extent, loop.X)
+					body = loop.Body
+				default:
+					return true
+				}
+				if !mentionsAdjacency(extent) || pollsCancellation(body) {
+					return true
+				}
+				pass.Reportf(n.Pos(), "loop over CSR adjacency/edge range never polls for cancellation; tick the budget or check ctx.Err at edge-segment granularity (or annotate a justified //blast:allow ctxpoll)")
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// mentionsAdjacency reports whether any extent expression selects an
+// adjacency array or edge count.
+func mentionsAdjacency(exprs []ast.Expr) bool {
+	found := false
+	for _, e := range exprs {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok && adjacencySelectors[sel.Sel.Name] {
+				found = true
+				return false
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// pollsCancellation reports whether the body (including nested calls'
+// names) contains a cancellation poll: ctx.Err(), a tick() call on a
+// worker budget, or a call to a helper whose name mentions polling.
+func pollsCancellation(body *ast.BlockStmt) bool {
+	polls := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !polls
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			name := fun.Sel.Name
+			if name == "Err" || name == "tick" || strings.Contains(strings.ToLower(name), "poll") {
+				polls = true
+			}
+		case *ast.Ident:
+			if fun.Name == "tick" || strings.Contains(strings.ToLower(fun.Name), "poll") {
+				polls = true
+			}
+		}
+		return !polls
+	})
+	return polls
+}
+
+// hasCancellationSource reports whether the function can observe
+// cancellation: a receiver or parameter of type context.Context, or one
+// whose (deref'd) struct type carries a context.Context field — the
+// pruneWorker pattern, where the budgeted ticker wraps the ctx.
+func hasCancellationSource(pass *Pass, fd *ast.FuncDecl) bool {
+	var fields []*ast.Field
+	if fd.Recv != nil {
+		fields = append(fields, fd.Recv.List...)
+	}
+	if fd.Type.Params != nil {
+		fields = append(fields, fd.Type.Params.List...)
+	}
+	for _, f := range fields {
+		tv, ok := pass.TypesInfo.Types[f.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if carriesContext(tv.Type, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// carriesContext reports whether t is context.Context or a struct (one
+// pointer-deref deep) with a context.Context field.
+func carriesContext(t types.Type, depth int) bool {
+	if t == nil || depth > 2 {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		return carriesContext(p.Elem(), depth)
+	}
+	if isContextType(t) {
+		return true
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isContextType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags order-sensitive work performed inside `for range` over
+// a map in the deterministic packages: floating-point accumulation,
+// ordered-output building (append to a slice that outlives the loop and
+// is never sorted afterwards), and hashing or writing into an
+// accumulator that outlives the loop. Go's map iteration order is
+// deliberately randomized, so any of these makes the result vary from
+// run to run over identical data — the exact EntropyFromCounts bug class
+// PR 4 tripped over. Integer accumulation is exempt: it commutes
+// exactly.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flags float accumulation, ordered-output building and hashing " +
+		"inside for-range over a map, where iteration order is randomized",
+	Run: runMapOrder,
+}
+
+// orderSinkMethods are method names that fold their argument into an
+// order-sensitive accumulator (hashes, writers, string builders).
+var orderSinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Sum": true, "Sum32": true, "Sum64": true,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, f, rs)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRangeBody(pass *Pass, file *ast.File, rs *ast.RangeStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, file, rs, n)
+		case *ast.CallExpr:
+			// Hash/writer accumulation: h.Write(...), b.WriteString(...)
+			// on a receiver that outlives the loop.
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || !orderSinkMethods[sel.Sel.Name] {
+				return true
+			}
+			if info.Selections[sel] == nil {
+				return true // package-qualified call, not a method
+			}
+			if root := rootIdent(sel.X); root != nil && declaredOutside(info, root, rs) {
+				pass.Reportf(n.Pos(), "%s.%s inside range over a map accumulates in iteration order; iterate a sorted key slice instead", root.Name, sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(pass *Pass, file *ast.File, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	info := pass.TypesInfo
+	// Float accumulation: x += e, x -= e, x *= e, x /= e.
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(as.Lhs) != 1 {
+			return
+		}
+		lhs := as.Lhs[0]
+		if !isFloat(info.Types[lhs].Type) {
+			return
+		}
+		if root := rootIdent(lhs); root != nil && declaredOutside(info, root, rs) {
+			pass.Reportf(as.Pos(), "floating-point accumulation into %s across map iteration order is nondeterministic (float addition is not associative); materialize and sort the keys first", root.Name)
+		}
+		return
+	case token.ASSIGN, token.DEFINE:
+	default:
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		rhs := as.Rhs[i]
+		// x = x + e (and -, *, /) on floats is accumulation too.
+		if bin, ok := rhs.(*ast.BinaryExpr); ok && as.Tok == token.ASSIGN {
+			switch bin.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+				root := rootIdent(lhs)
+				if root != nil && isFloat(info.Types[lhs].Type) && declaredOutside(info, root, rs) &&
+					(sameObject(info, root, rootIdent(bin.X)) || sameObject(info, root, rootIdent(bin.Y))) {
+					pass.Reportf(as.Pos(), "floating-point accumulation into %s across map iteration order is nondeterministic (float addition is not associative); materialize and sort the keys first", root.Name)
+					return
+				}
+			}
+		}
+		// Ordered-output building: s = append(s, ...) into a slice that
+		// outlives the loop and is never sorted afterwards.
+		if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(info, call) {
+			root := rootIdent(lhs)
+			if root == nil || !declaredOutside(info, root, rs) {
+				continue
+			}
+			if sortedAfter(info, file, root, rs.End()) {
+				continue
+			}
+			pass.Reportf(as.Pos(), "appending to %s inside range over a map builds output in iteration order; sort %s afterwards or iterate sorted keys", root.Name, root.Name)
+		}
+	}
+}
+
+// isFloat reports whether t's core type is a floating-point scalar.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// rootIdent returns the base identifier of an lvalue-ish expression:
+// x, x.f, x[i], *x all root at x.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether the object id refers to was declared
+// outside the node rng (so mutations inside the loop survive it).
+func declaredOutside(info *types.Info, id *ast.Ident, rng ast.Node) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < rng.Pos() || obj.Pos() >= rng.End()
+}
+
+// sameObject reports whether two identifiers resolve to one object.
+func sameObject(info *types.Info, a, b *ast.Ident) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	oa, ob := lookupObj(info, a), lookupObj(info, b)
+	return oa != nil && oa == ob
+}
+
+func lookupObj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := lookupObj(info, id).(*types.Builtin)
+	return isBuiltin
+}
+
+// sortedAfter reports whether, somewhere after pos in the function (or
+// file) enclosing the loop, the object named by id is handed to a
+// sort.* or slices.Sort* call — the collect-then-sort idiom, which is
+// deterministic no matter the collection order.
+func sortedAfter(info *types.Info, file *ast.File, id *ast.Ident, pos token.Pos) bool {
+	target := lookupObj(info, id)
+	if target == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, isPkg := lookupObj(info, pkgID).(*types.PkgName); !isPkg ||
+			(pn.Imported().Path() != "sort" && pn.Imported().Path() != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if r := rootIdent(arg); r != nil && lookupObj(info, r) == target {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}

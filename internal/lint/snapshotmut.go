@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SnapshotMut flags writes to shard.Snapshot fields, or stores through
+// its slice fields, anywhere outside the constructor/decode files. A
+// published snapshot is read wait-free by every serving goroutine and
+// shares its structural CSR arrays (Offsets, Neighbors) with the live
+// index across epochs; a single in-place store tears that contract
+// without any lock or race report to show for it. Construction sites
+// (composite literals, the persist.go decoder) are exempt; the two
+// pre-publication re-tag sites carry //blast:allow justifications.
+var SnapshotMut = &Analyzer{
+	Name: "snapshotmut",
+	Doc: "flags writes to shard.Snapshot fields or stores through its " +
+		"slices outside the constructor/decode files",
+	Run: runSnapshotMut,
+}
+
+// snapshotTypePath/Name identify the protected type.
+const (
+	snapshotTypePath = "blast/internal/shard"
+	snapshotTypeName = "Snapshot"
+)
+
+func runSnapshotMut(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkSnapshotWrite(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkSnapshotWrite(pass, n.X)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSnapshotWrite reports lhs when it denotes a Snapshot field or an
+// element of a Snapshot slice field.
+func checkSnapshotWrite(pass *Pass, lhs ast.Expr) {
+	switch v := lhs.(type) {
+	case *ast.SelectorExpr:
+		if isSnapshotType(pass.TypesInfo.Types[v.X].Type) {
+			pass.Reportf(lhs.Pos(), "write to shard.Snapshot field %s outside the constructor/decode files; published snapshots are immutable and share arrays with wait-free readers", v.Sel.Name)
+		}
+	case *ast.IndexExpr:
+		if sel, ok := v.X.(*ast.SelectorExpr); ok && isSnapshotType(pass.TypesInfo.Types[sel.X].Type) {
+			pass.Reportf(lhs.Pos(), "store through shard.Snapshot slice %s outside the constructor/decode files; published snapshots are immutable and share arrays with wait-free readers", sel.Sel.Name)
+		}
+	}
+}
+
+// isSnapshotType reports whether t (deref'd) is shard.Snapshot.
+func isSnapshotType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == snapshotTypeName && obj.Pkg() != nil && obj.Pkg().Path() == snapshotTypePath
+}

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SyncErr flags discarded errors from Sync, Close, Truncate, Rename and
+// Write* calls on the durability path. Every byte the server
+// acknowledges is a durability receipt: an fsync or close whose error
+// vanishes silently voids that contract — the write may never have
+// reached stable storage, and the next recovery replays a log the
+// caller believed was longer. Both plain discards (`f.Close()` as a
+// statement, including under defer/go) and explicit blank assignments
+// (`_ = f.Close()`, `n, _ := f.Write(p)`) are flagged; genuinely
+// best-effort sites carry a //blast:allow syncerr justification.
+var SyncErr = &Analyzer{
+	Name: "syncerr",
+	Doc: "flags discarded errors from Sync/Close/Truncate/Rename/Write* " +
+		"on the durability path",
+	Run: runSyncErr,
+}
+
+func runSyncErr(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscardedCall(pass, call)
+				}
+			case *ast.DeferStmt:
+				checkDiscardedCall(pass, n.Call)
+			case *ast.GoStmt:
+				checkDiscardedCall(pass, n.Call)
+			case *ast.AssignStmt:
+				checkBlankError(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDiscardedCall reports a durability call used as a bare statement
+// (all results dropped).
+func checkDiscardedCall(pass *Pass, call *ast.CallExpr) {
+	name, ok := durabilityCall(pass, call)
+	if !ok {
+		return
+	}
+	if errIndex(pass, call) < 0 {
+		return
+	}
+	pass.Reportf(call.Pos(), "error from %s is discarded on the durability path; check it (or annotate a justified //blast:allow syncerr)", name)
+}
+
+// checkBlankError reports a durability call whose error result is
+// assigned to the blank identifier.
+func checkBlankError(pass *Pass, as *ast.AssignStmt) {
+	// Only the single-call forms matter: x, y := f() or _ = f().
+	if len(as.Rhs) != 1 {
+		// Parallel assignment a, b = f1(), f2(): each RHS is single-valued.
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || i >= len(as.Lhs) || !isBlank(as.Lhs[i]) {
+				continue
+			}
+			if name, ok := durabilityCall(pass, call); ok && errIndex(pass, call) == 0 {
+				pass.Reportf(as.Pos(), "error from %s is assigned to _ on the durability path; check it (or annotate a justified //blast:allow syncerr)", name)
+			}
+		}
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, isDur := durabilityCall(pass, call)
+	if !isDur {
+		return
+	}
+	ei := errIndex(pass, call)
+	if ei < 0 || ei >= len(as.Lhs) {
+		return
+	}
+	if isBlank(as.Lhs[ei]) {
+		pass.Reportf(as.Pos(), "error from %s is assigned to _ on the durability path; check it (or annotate a justified //blast:allow syncerr)", name)
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// durabilityVerb reports whether a callee name is one of the durability
+// verbs: Sync, Close, Truncate, Rename, or any Write*.
+func durabilityVerb(name string) bool {
+	switch name {
+	case "Sync", "Close", "Truncate", "Rename":
+		return true
+	}
+	return strings.HasPrefix(name, "Write")
+}
+
+// durabilityCall classifies a call as durability-relevant: a method
+// whose name is a durability verb (on any receiver except the hash
+// packages, whose Write never fails), or an os.* package function with
+// a durability-verb name (os.Rename, os.WriteFile, ...).
+func durabilityCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !durabilityVerb(sel.Sel.Name) {
+		return "", false
+	}
+	if s := pass.TypesInfo.Selections[sel]; s != nil {
+		recv := s.Recv()
+		if p := namedPkgPath(recv); p == "hash" || strings.HasPrefix(p, "hash/") {
+			return "", false
+		}
+		return exprText(sel.X) + "." + sel.Sel.Name, true
+	}
+	// Package-qualified function call.
+	if pkgID, ok := sel.X.(*ast.Ident); ok {
+		if pn, isPkg := lookupObj(pass.TypesInfo, pkgID).(*types.PkgName); isPkg {
+			if pn.Imported().Path() == "os" {
+				return "os." + sel.Sel.Name, true
+			}
+		}
+	}
+	return "", false
+}
+
+// errIndex returns the result index of type error in the call's
+// signature, or -1 when the call cannot fail.
+func errIndex(pass *Pass, call *ast.CallExpr) int {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return -1
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}
+
+// namedPkgPath returns the defining package path of a (possibly
+// pointer-wrapped) named type, or "".
+func namedPkgPath(t types.Type) string {
+	for {
+		switch v := t.(type) {
+		case *types.Pointer:
+			t = v.Elem()
+		case *types.Named:
+			if v.Obj().Pkg() == nil {
+				return ""
+			}
+			return v.Obj().Pkg().Path()
+		default:
+			return ""
+		}
+	}
+}
+
+// exprText renders a short receiver expression for a message.
+func exprText(e ast.Expr) string {
+	if r := rootIdent(e); r != nil {
+		return r.Name
+	}
+	return "receiver"
+}

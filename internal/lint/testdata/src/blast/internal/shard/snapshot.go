@@ -1,0 +1,16 @@
+// Package shard is a stub of the real blast/internal/shard for the
+// snapshotmut golden fixture. The analyzer identifies the protected
+// type by package path and type name, so the fixture module carries a
+// type spelled exactly blast/internal/shard.Snapshot.
+package shard
+
+// Snapshot mirrors the real snapshot's shape: scalar tags plus CSR
+// arrays shared with wait-free readers across epochs.
+type Snapshot struct {
+	Epoch       uint64
+	Batches     int64
+	NumProfiles int
+	Offsets     []int64
+	Neighbors   []int32
+	Weights     []float64
+}

@@ -1,0 +1,95 @@
+// Package ctxpoll is the golden fixture for the ctxpoll analyzer:
+// adjacency-extent loops that never poll for cancellation despite
+// having a context in reach.
+package ctxpoll
+
+import "context"
+
+// CSR mimics the adjacency shape the analyzer keys on.
+type CSR struct {
+	NumProfiles int
+	Offsets     []int64
+	Neighbors   []int32
+}
+
+// unpolled walks full adjacency runs with a context in hand and never
+// polls it. Only the inner loop is bounded by adjacency extent.
+func unpolled(ctx context.Context, g *CSR) int {
+	n := 0
+	for u := 0; u < g.NumProfiles; u++ {
+		for p := g.Offsets[u]; p < g.Offsets[u+1]; p++ { // want `never polls for cancellation`
+			n += int(g.Neighbors[p])
+		}
+	}
+	return n
+}
+
+// polled checks ctx.Err on a budget inside the run; nothing to flag.
+func polled(ctx context.Context, g *CSR) (int, error) {
+	n := 0
+	for u := 0; u < g.NumProfiles; u++ {
+		for p := g.Offsets[u]; p < g.Offsets[u+1]; p++ {
+			if p%1024 == 0 {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+			}
+			n += int(g.Neighbors[p])
+		}
+	}
+	return n, nil
+}
+
+// worker carries its context inside a budgeted ticker, the prune-worker
+// pattern.
+type worker struct {
+	ctx    context.Context
+	budget int
+}
+
+func (w *worker) tick(n int) error {
+	w.budget -= n
+	if w.budget > 0 {
+		return nil
+	}
+	w.budget = 1024
+	return w.ctx.Err()
+}
+
+// workerPolled ticks the budget; the ticker wraps the ctx.
+func (w *worker) workerPolled(g *CSR) error {
+	for range g.Neighbors {
+		if err := w.tick(1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// workerUnpolled has the ctx (inside w) but never ticks the budget.
+func (w *worker) workerUnpolled(g *CSR) int {
+	n := 0
+	for _, v := range g.Neighbors { // want `never polls for cancellation`
+		n += int(v)
+	}
+	return n
+}
+
+// noSource cannot poll — functions without a context are exempt.
+func noSource(g *CSR) int {
+	n := 0
+	for _, v := range g.Neighbors {
+		n += int(v)
+	}
+	return n
+}
+
+// suppressed is a justified bounded run.
+func suppressed(ctx context.Context, g *CSR) int {
+	n := 0
+	//blast:allow ctxpoll -- fixture: bounded zero-fill over one already-materialized run
+	for _, v := range g.Neighbors {
+		n += int(v)
+	}
+	return n
+}

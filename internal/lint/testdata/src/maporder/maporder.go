@@ -1,0 +1,85 @@
+// Package maporder is the golden fixture for the maporder analyzer:
+// order-sensitive work inside for-range over a map.
+package maporder
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// floatAccumOpAssign accumulates a float across map iteration order.
+func floatAccumOpAssign(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `floating-point accumulation into total`
+	}
+	return total
+}
+
+// floatAccumRebind spells the same accumulation as x = x + v.
+func floatAccumRebind(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want `floating-point accumulation into total`
+	}
+	return total
+}
+
+// intAccum commutes exactly; integer sums are order-insensitive.
+func intAccum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// appendUnsorted builds ordered output in iteration order.
+func appendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `appending to keys inside range over a map`
+	}
+	return keys
+}
+
+// appendThenSort is the deterministic collect-then-sort idiom.
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// hashOutliving folds map values into a hash that outlives the loop.
+func hashOutliving(m map[string][]byte) uint64 {
+	h := fnv.New64a()
+	for _, v := range m {
+		h.Write(v) // want `h.Write inside range over a map`
+	}
+	return h.Sum64()
+}
+
+// hashPerIteration keeps the accumulator local to one iteration, then
+// combines with XOR — order cannot leak out.
+func hashPerIteration(m map[string][]byte) uint64 {
+	var n uint64
+	for _, v := range m {
+		h := fnv.New64a()
+		h.Write(v)
+		n ^= h.Sum64()
+	}
+	return n
+}
+
+// suppressed carries a justified allow on the line above the site.
+func suppressed(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		//blast:allow maporder -- fixture: the sum feeds an order-insensitive assertion only
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,30 @@
+// Package snapshotmut is the golden fixture for the snapshotmut
+// analyzer: in-place writes to published shard.Snapshot state.
+package snapshotmut
+
+import "blast/internal/shard"
+
+// mutate writes a snapshot in place — every flagged form.
+func mutate(s *shard.Snapshot, w []float64) {
+	s.Epoch = 7        // want `write to shard.Snapshot field Epoch`
+	s.Epoch++          // want `write to shard.Snapshot field Epoch`
+	s.Weights = w      // want `write to shard.Snapshot field Weights`
+	s.Weights[0] = 0.5 // want `store through shard.Snapshot slice Weights`
+}
+
+// construct builds a fresh snapshot; composite literals are not writes.
+func construct(w []float64) *shard.Snapshot {
+	return &shard.Snapshot{Weights: w}
+}
+
+// read only loads; loads are always safe.
+func read(s *shard.Snapshot) float64 {
+	return s.Weights[0] + float64(s.Epoch)
+}
+
+// retag is the justified pre-publication pattern: tagging a snapshot no
+// reader can hold yet.
+func retag(s *shard.Snapshot) {
+	//blast:allow snapshotmut -- fixture: pre-publication tag before any reader can hold the snapshot
+	s.Epoch = 1
+}

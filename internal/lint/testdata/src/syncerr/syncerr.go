@@ -1,0 +1,47 @@
+// Package syncerr is the golden fixture for the syncerr analyzer:
+// durability-verb errors dropped on the floor.
+package syncerr
+
+import (
+	"hash/fnv"
+	"os"
+)
+
+// discards drops durability errors in every form the analyzer knows:
+// bare statement, defer, package function, blank assignment.
+func discards(f *os.File, path string) {
+	f.Sync()                     // want `error from f.Sync is discarded`
+	defer f.Close()              // want `error from f.Close is discarded`
+	os.Rename(path, path+".bak") // want `error from os.Rename is discarded`
+	_ = f.Close()                // want `error from f.Close is assigned to _`
+}
+
+// blankWrite keeps the byte count but discards the write error.
+func blankWrite(f *os.File, p []byte) int {
+	n, _ := f.Write(p) // want `error from f.Write is assigned to _`
+	return n
+}
+
+// checked propagates every durability receipt; nothing to flag.
+func checked(f *os.File, p []byte) error {
+	if _, err := f.Write(p); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// hashWrite never fails; hash-package receivers are exempt.
+func hashWrite(p []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(p)
+	return h.Sum64()
+}
+
+// suppressed is a justified best-effort close.
+func suppressed(f *os.File) {
+	//blast:allow syncerr -- fixture: best-effort descriptor release on an already-failing path
+	f.Close()
+}

@@ -1,0 +1,42 @@
+// Package wallclock is the golden fixture for the wallclock analyzer:
+// wall-clock reads and global math/rand state in deterministic code.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stamp reads the wall clock.
+func stamp() time.Time {
+	return time.Now() // want `time.Now in a deterministic package`
+}
+
+// elapsed derives a duration from the wall clock.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since in a deterministic package`
+}
+
+// draw pulls from the global math/rand state.
+func draw() int {
+	return rand.Intn(10) // want `rand.Intn uses the global math/rand state`
+}
+
+// seeded draws are reproducible; the seeded constructors are exempt,
+// and methods on an explicit *rand.Rand are not package-level calls.
+func seeded() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(10)
+}
+
+// double does arithmetic on time values; only clock reads are flagged.
+func double(d time.Duration) time.Duration {
+	return 2 * d
+}
+
+// telemetry is the justified pattern: a clock read that is reported,
+// never folded into a pinned computation.
+func telemetry() time.Time {
+	//blast:allow wallclock -- fixture: telemetry only, reported not computed with
+	return time.Now()
+}

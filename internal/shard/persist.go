@@ -281,15 +281,20 @@ func WriteSnapshotFile(path string, s *Snapshot) error {
 	if err != nil {
 		return err
 	}
-	if _, err := f.Write(EncodeSnapshot(s)); err != nil {
-		f.Close()
+	// fail abandons the temp file, joining the close error with the
+	// primary one: both describe why the snapshot is not on disk.
+	fail := func(err error) error {
+		if cerr := f.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
 		os.Remove(tmp)
 		return err
 	}
+	if _, err := f.Write(EncodeSnapshot(s)); err != nil {
+		return fail(err)
+	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+		return fail(err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)

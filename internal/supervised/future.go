@@ -1,0 +1,17 @@
+//go:build blast_supervised_future
+
+package supervised
+
+// DefaultConfig mirrors the paper's setup: 10% of matches for training,
+// balanced negatives.
+//
+// Quarantined: no cross-package caller exists yet — pipeline.go and the
+// experiment tables construct their Config explicitly. The intended
+// consumer is the learned-pruning roadmap item (training a pruning
+// threshold on a labeled sample); until that PR lands, the export lives
+// behind this tag so the default build carries no dead API surface.
+// Re-enable by building with -tags blast_supervised_future, or drop the
+// constraint when the caller arrives.
+func DefaultConfig() Config {
+	return Config{TrainFraction: 0.10, NegativeRatio: 1, Seed: 1}
+}

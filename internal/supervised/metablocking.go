@@ -75,12 +75,6 @@ type Config struct {
 	Train TrainConfig
 }
 
-// DefaultConfig mirrors the paper's setup: 10% of matches for training,
-// balanced negatives.
-func DefaultConfig() Config {
-	return Config{TrainFraction: 0.10, NegativeRatio: 1, Seed: 1}
-}
-
 // Result is the outcome of a supervised meta-blocking run.
 type Result struct {
 	// Pairs are the retained comparisons (classified positive), sorted.

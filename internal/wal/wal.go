@@ -127,29 +127,33 @@ func Open(path string, syncEvery int) (*Log, [][]byte, error) {
 	if len(ends) > 0 {
 		l.size = ends[len(ends)-1]
 	}
+	// fail releases the descriptor on an open-time error. The close error
+	// is joined rather than dropped: a failed close can itself mean the
+	// preceding truncate/sync never reached the disk.
+	fail := func(err error) (*Log, [][]byte, error) {
+		if cerr := f.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		return nil, nil, err
+	}
 	if len(data) < headerSize {
 		// Fresh or torn-at-creation file: (re)write the header.
 		if err := f.Truncate(0); err != nil {
-			f.Close()
-			return nil, nil, err
+			return fail(err)
 		}
 		if _, err := f.WriteAt(logMagic[:], 0); err != nil {
-			f.Close()
-			return nil, nil, err
+			return fail(err)
 		}
 		if err := f.Sync(); err != nil {
-			f.Close()
-			return nil, nil, err
+			return fail(err)
 		}
 	} else if l.size < int64(len(data)) {
 		// Torn or corrupt tail: drop it so the next append starts clean.
 		if err := f.Truncate(l.size); err != nil {
-			f.Close()
-			return nil, nil, err
+			return fail(err)
 		}
 		if err := f.Sync(); err != nil {
-			f.Close()
-			return nil, nil, err
+			return fail(err)
 		}
 	}
 	return l, payloads, nil
