@@ -1,8 +1,8 @@
 // Command benchdiff is the CI benchmark-regression gate: it compares
 // the benchmark artifacts of the current run (BENCH_query.json,
 // BENCH_incremental.json, BENCH_serve.json, BENCH_prune.json,
-// BENCH_recover.json) against committed baselines and fails when a
-// gated metric regresses beyond the threshold.
+// BENCH_recover.json, BENCH_load.json) against committed baselines and
+// fails when a gated metric regresses beyond the threshold.
 //
 // Gated metrics:
 //
@@ -27,6 +27,11 @@
 //     not grow more than threshold, and every current row must report
 //     Match=true — a recovered server that diverges from the pre-crash
 //     state is a named failure regardless of timing.
+//   - load: per-cell (dataset/clients/shards) HTTP insert throughput
+//     must not shrink and read p99 must not grow more than threshold,
+//     and every current row must report Match=true — an HTTP front end
+//     whose response bytes diverge from the in-process Server calls it
+//     fronts is a named failure regardless of timing.
 //
 // Degenerate artifact values — zero, negative, NaN or Inf where a
 // latency, throughput, speedup or scaling factor belongs — are a named
@@ -45,6 +50,7 @@
 //	go run ./cmd/blastbench -exp serve -scale 0.5 -json > bench/baselines/BENCH_serve.json
 //	go run ./cmd/blastbench -exp prune -scale 0.5 -json > bench/baselines/BENCH_prune.json
 //	go run ./cmd/blastbench -exp recover -scale 0.5 -json > bench/baselines/BENCH_recover.json
+//	go run ./cmd/blastbench -exp load -scale 0.5 -json > bench/baselines/BENCH_load.json
 package main
 
 import (
@@ -382,6 +388,51 @@ func run(w io.Writer, baseDir, curDir string, threshold, minScaling, minPrune fl
 				metric: fmt.Sprintf("recover/%s/%s/shards=%d match", r.Dataset, r.Mode, r.Shards),
 				ok:     false,
 				note:   "recovered server diverged from the pre-crash state",
+			})
+		}
+	}
+
+	// load: per-cell HTTP insert throughput and read p99 vs baseline,
+	// plus the HTTP-vs-in-process differential over the current run
+	// alone — a front end whose responses diverge from the Server it
+	// fronts fails by name even when no baseline exists yet.
+	baseL, err := loadJSON[experiments.LoadRow](baseDir, "BENCH_load.json")
+	if err != nil {
+		return 0, err
+	}
+	curL, err := loadJSON[experiments.LoadRow](curDir, "BENCH_load.json")
+	if err != nil {
+		return 0, err
+	}
+	if baseL == nil {
+		fmt.Fprintln(w, "load: no baseline, throughput comparison skipped")
+	} else {
+		if curL == nil {
+			return 0, fmt.Errorf("missing current BENCH_load.json (baseline exists)")
+		}
+		key := func(r experiments.LoadRow) string {
+			return fmt.Sprintf("%s/clients=%d/shards=%d", r.Dataset, r.Clients, r.Shards)
+		}
+		cur := make(map[string]experiments.LoadRow, len(curL))
+		for _, r := range curL {
+			cur[key(r)] = r
+		}
+		for _, b := range baseL {
+			c, found := cur[key(b)]
+			if !found {
+				add(check{metric: "load/" + key(b) + " inserts/s", baseline: b.InsertThroughput, ok: false, note: "configuration missing from current run"})
+				continue
+			}
+			add(gated("load/"+key(b)+" inserts/s", b.InsertThroughput, c.InsertThroughput, threshold, false))
+			add(gated("load/"+key(b)+" read p99 ns", float64(b.ReadP99), float64(c.ReadP99), threshold, true))
+		}
+	}
+	for _, r := range curL {
+		if !r.Match {
+			add(check{
+				metric: fmt.Sprintf("load/%s/clients=%d/shards=%d match", r.Dataset, r.Clients, r.Shards),
+				ok:     false,
+				note:   "HTTP responses diverged from in-process Server calls",
 			})
 		}
 	}

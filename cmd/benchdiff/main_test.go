@@ -358,6 +358,79 @@ func TestGateRecover(t *testing.T) {
 	}
 }
 
+func loadRow(ds string, clients int, inserts float64, p99 time.Duration, match bool) experiments.LoadRow {
+	return experiments.LoadRow{Dataset: ds, Clients: clients, Shards: 2, GOMAXPROCS: 8,
+		InsertThroughput: inserts, ReadP99: p99, Match: match}
+}
+
+// TestGateLoad covers the HTTP load artifact: per-cell insert
+// throughput and read-p99 regressions, the HTTP-vs-in-process match
+// flag (gated even with no baseline), and the dropped-cell check.
+func TestGateLoad(t *testing.T) {
+	base, cur := t.TempDir(), t.TempDir()
+	writeJSON(t, base, "BENCH_load.json", []experiments.LoadRow{
+		loadRow("census", 2, 5000, 2*time.Millisecond, true),
+		loadRow("census", 4, 8000, 3*time.Millisecond, true),
+	})
+	writeJSON(t, cur, "BENCH_load.json", []experiments.LoadRow{
+		loadRow("census", 2, 4500, 2200*time.Microsecond, true), // -10% and +10%, both < 25%
+		loadRow("census", 4, 8100, 3*time.Millisecond, true),
+	})
+	var out strings.Builder
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("failures = %d within threshold\n%s", failures, out.String())
+	}
+
+	// Collapsed insert throughput, regressed p99, and a diverged
+	// response body: three named failures.
+	writeJSON(t, cur, "BENCH_load.json", []experiments.LoadRow{
+		loadRow("census", 2, 1000, 2*time.Millisecond, true),  // -80%
+		loadRow("census", 4, 8000, 9*time.Millisecond, false), // +200% AND diverged
+	})
+	out.Reset()
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 3 {
+		t.Fatalf("failures = %d, want 3 (throughput, p99, match)\n%s", failures, out.String())
+	}
+	if !strings.Contains(out.String(), "diverged from in-process Server calls") {
+		t.Errorf("missing divergence note:\n%s", out.String())
+	}
+
+	// The match flag gates even when no baseline exists yet.
+	os.Remove(filepath.Join(base, "BENCH_load.json"))
+	out.Reset()
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1 (match, baseline absent)\n%s", failures, out.String())
+	}
+
+	// A baseline cell missing from the current run is a regression.
+	writeJSON(t, base, "BENCH_load.json", []experiments.LoadRow{
+		loadRow("census", 8, 5000, 2*time.Millisecond, true),
+	})
+	writeJSON(t, cur, "BENCH_load.json", []experiments.LoadRow{
+		loadRow("census", 2, 5000, 2*time.Millisecond, true),
+	})
+	out.Reset()
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1 for dropped cell\n%s", failures, out.String())
+	}
+}
+
 func TestGateMalformedJSON(t *testing.T) {
 	base, cur := t.TempDir(), t.TempDir()
 	if err := os.WriteFile(filepath.Join(base, "BENCH_query.json"), []byte("{not json"), 0o644); err != nil {

@@ -8,7 +8,7 @@
 //
 // Experiments: table2 table3 table4 table5 table6 table7 fig5 fig8 fig9
 // fig10 endtoend scalability engines query incremental prune serve
-// recover baselines standard all. -scale multiplies the per-dataset default sizes (see
+// recover load baselines standard all. -scale multiplies the per-dataset default sizes (see
 // internal/experiments); absolute metrics depend on it, comparative
 // structure does not. The engines experiment compares the edge-list and
 // node-centric meta-blocking engines (time, allocation, output
@@ -20,8 +20,12 @@
 // load against the sharded snapshot-swap Server across shard counts and
 // against the single-Index baseline; the recover experiment measures
 // durable serving (WAL + snapshot persistence) and the cost of crash
-// recovery, checking the recovered server against the pre-close state.
-// For all six, -json renders machine-readable JSON (the CI benchmark
+// recovery, checking the recovered server against the pre-close state;
+// the load experiment drives concurrent HTTP clients (mixed read/write)
+// against the blasthttp front end over loopback, reporting insert
+// throughput, read latency under churn, and a differential check that
+// HTTP responses are byte-identical to in-process Server calls.
+// For all seven, -json renders machine-readable JSON (the CI benchmark
 // artifacts).
 package main
 
@@ -35,11 +39,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table2..table7, fig5, fig8, fig9, fig10, endtoend, scalability, engines, query, incremental, prune, serve, recover, baselines, all")
+	exp := flag.String("exp", "all", "experiment id: table2..table7, fig5, fig8, fig9, fig10, endtoend, scalability, engines, query, incremental, prune, serve, recover, load, baselines, all")
 	dataset := flag.String("dataset", "", "dataset for table4/table7/endtoend/engines/query/incremental/prune/recover (default: every applicable)")
 	scale := flag.Float64("scale", 1, "scale multiplier over per-dataset defaults")
 	seed := flag.Uint64("seed", 42, "random seed")
-	jsonOut := flag.Bool("json", false, "render the engines/query/incremental/prune/serve/recover experiments as JSON")
+	jsonOut := flag.Bool("json", false, "render the engines/query/incremental/prune/serve/recover/load experiments as JSON")
 	flag.Parse()
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed}
@@ -269,6 +273,25 @@ func run(cfg experiments.Config, exp, dataset string, jsonOut bool) error {
 		}
 		fmt.Println("== Recover: durable serving, WAL + snapshot crash recovery ==")
 		fmt.Print(experiments.RenderRecover(rows))
+	case "load":
+		// dataset defaults to census inside Load; client counts 2/4 give
+		// the HTTP serving series the CI regression gate checks (insert
+		// throughput and read p99 per cell, plus the HTTP-vs-in-process
+		// byte differential the gate fails on by name when Match=false).
+		rows, err := experiments.Load(cfg, dataset, nil, 0, 0)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			js, err := experiments.LoadJSON(rows)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(js))
+			return nil
+		}
+		fmt.Println("== Load: HTTP front end under concurrent mixed traffic ==")
+		fmt.Print(experiments.RenderLoad(rows))
 	case "baselines":
 		name := dataset
 		if name == "" {
@@ -289,7 +312,7 @@ func run(cfg experiments.Config, exp, dataset string, jsonOut bool) error {
 		fmt.Print(experiments.RenderStandard(rows))
 	case "all":
 		for _, e := range []string{"table2", "table3", "table4", "table5", "table6", "table7",
-			"fig5", "fig8", "fig9", "fig10", "endtoend", "scalability", "engines", "query", "incremental", "prune", "serve", "recover", "baselines", "standard"} {
+			"fig5", "fig8", "fig9", "fig10", "endtoend", "scalability", "engines", "query", "incremental", "prune", "serve", "recover", "load", "baselines", "standard"} {
 			// Always the text rendering: interleaving one JSON array into
 			// the combined report would serve neither reader.
 			if err := run(cfg, e, dataset, false); err != nil {

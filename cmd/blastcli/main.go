@@ -14,6 +14,7 @@ package main
 
 import (
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -76,7 +77,7 @@ func run(e1Path, e2Path, truthPath, outPath, induction, pruning, transform strin
 			return err
 		}
 		truth, err := datasets.ReadTruth(f, ds)
-		f.Close()
+		f.Close() //blast:allow syncerr -- read-only file: a close error cannot lose data already parsed
 		if err != nil {
 			return err
 		}
@@ -140,26 +141,34 @@ func run(e1Path, e2Path, truthPath, outPath, induction, pruning, transform strin
 		fmt.Fprint(os.Stderr, res.LooseSchemaReport())
 	}
 
-	var out io.Writer = os.Stdout
+	writePairs := func(out io.Writer) error {
+		w := csv.NewWriter(out)
+		if err := w.Write([]string{"id1", "id2"}); err != nil {
+			return err
+		}
+		for _, p := range res.Pairs {
+			if err := w.Write([]string{ds.Profile(int(p.U)).ID, ds.Profile(int(p.V)).ID}); err != nil {
+				return err
+			}
+		}
+		w.Flush()
+		return w.Error()
+	}
 	if outPath != "" {
+		// The output file is the command's deliverable: sync and close
+		// errors must fail the run, not vanish behind a deferred Close.
 		f, err := os.Create(outPath)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		out = f
-	}
-	w := csv.NewWriter(out)
-	if err := w.Write([]string{"id1", "id2"}); err != nil {
-		return err
-	}
-	for _, p := range res.Pairs {
-		if err := w.Write([]string{ds.Profile(int(p.U)).ID, ds.Profile(int(p.V)).ID}); err != nil {
-			return err
+		werr := writePairs(f)
+		if werr == nil {
+			werr = f.Sync()
 		}
-	}
-	w.Flush()
-	if err := w.Error(); err != nil {
+		if err := errors.Join(werr, f.Close()); err != nil {
+			return fmt.Errorf("%s: %w", outPath, err)
+		}
+	} else if err := writePairs(os.Stdout); err != nil {
 		return err
 	}
 
@@ -176,6 +185,6 @@ func loadCollection(path, name string) (*model.Collection, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //blast:allow syncerr -- read-only file: a close error cannot lose data already parsed
 	return datasets.ReadCollection(f, name)
 }

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// bootProfiles extracts the seed profile count from run's boot line
+// ("blastserve: <dataset> scale S seed N: P profiles, ...").
+func bootProfiles(t *testing.T, out string) int {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		for i, f := range fields {
+			if f == "profiles," && i > 0 {
+				var p int
+				if _, err := fmt.Sscanf(fields[i-1], "%d", &p); err == nil {
+					return p
+				}
+			}
+		}
+	}
+	t.Fatalf("no boot line in output: %s", out)
+	return 0
+}
+
+func TestParseFlagsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"empty dataset", []string{"-dataset", ""}},
+		{"zero scale", []string{"-scale", "0"}},
+		{"negative scale", []string{"-scale", "-1"}},
+		{"nan scale", []string{"-scale", "NaN"}},
+		{"inf scale", []string{"-scale", "Inf"}},
+		{"zero shards", []string{"-shards", "0"}},
+		{"empty addr", []string{"-addr", ""}},
+		{"bad drain timeout", []string{"-drain-timeout", "0s"}},
+		{"unknown flag", []string{"-nope"}},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		if _, err := parseFlags(tc.args, &buf); err == nil {
+			t.Errorf("%s: parseFlags(%v) accepted", tc.name, tc.args)
+		} else if buf.Len() == 0 {
+			t.Errorf("%s: no usage diagnostics emitted", tc.name)
+		}
+	}
+	if _, err := parseFlags([]string{"-dataset", "census", "-scale", "0.02"}, io.Discard); err != nil {
+		t.Errorf("valid flags rejected: %v", err)
+	}
+}
+
+// TestSIGTERMGracefulDrain boots a durable server on a loopback port,
+// drives writes through it, delivers a real SIGTERM to the process, and
+// checks the drain contract: run exits nil, reports every admitted
+// profile published, and leaves a final snapshot on disk.
+func TestSIGTERMGracefulDrain(t *testing.T) {
+	dir := t.TempDir()
+	cfg, err := parseFlags([]string{
+		"-addr", "127.0.0.1:0",
+		"-dataset", "census", "-scale", "0.02", "-seed", "7",
+		"-shards", "2",
+		"-dir", dir,
+		"-snapshot-every", "1",
+		"-flush-interval", "1ms",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same signal wiring main uses, registered in-process so the
+	// kill below exercises the real SIGTERM path.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, cfg, &out, ready) }()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited before ready: %v (output: %s)", err, out.String())
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	// Admit a few batches over the wire; the 200s are durability
+	// receipts, so everything accepted here must survive the drain.
+	client := &http.Client{Timeout: 10 * time.Second}
+	for i := 0; i < 3; i++ {
+		body := strings.NewReader(`{"profiles":[{"id":"drain-` + string(rune('a'+i)) + `","pairs":[{"name":"title","value":"graceful drain probe"}]}]}`)
+		resp, err := client.Post("http://"+addr+"/v1/insert", "application/json", body)
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("insert %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain failed: %v (output: %s)", err, out.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("drain never completed (output: %s)", out.String())
+	}
+
+	if !strings.Contains(out.String(), "drained") {
+		t.Errorf("no drain report in output: %s", out.String())
+	}
+	// The drained server must have persisted a final snapshot per shard.
+	for i := 0; i < 2; i++ {
+		sdir := filepath.Join(dir, "snap", []string{"shard-000", "shard-001"}[i])
+		entries, err := os.ReadDir(sdir)
+		if err != nil {
+			t.Fatalf("shard %d snapshot dir: %v", i, err)
+		}
+		snaps := 0
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), "epoch-") && strings.HasSuffix(e.Name(), ".snap") {
+				snaps++
+			}
+		}
+		if snaps == 0 {
+			t.Errorf("shard %d: no snapshot persisted by the drain", i)
+		}
+	}
+
+	// Reopen the durable directory: recovery must restore the admitted
+	// writes (replay-free, though that is a performance property; here
+	// we check the receipts held).
+	cfg2 := cfg
+	cfg2.addr = "127.0.0.1:0"
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	var out2 bytes.Buffer
+	ready2 := make(chan string, 1)
+	done2 := make(chan error, 1)
+	go func() { done2 <- run(ctx2, cfg2, &out2, ready2) }()
+	var addr2 string
+	select {
+	case addr2 = <-ready2:
+	case err := <-done2:
+		t.Fatalf("reopen exited before ready: %v (output: %s)", err, out2.String())
+	case <-time.After(30 * time.Second):
+		t.Fatal("reopened server never became ready")
+	}
+	resp, err := client.Post("http://"+addr2+"/v1/quiesce", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reopen quiesce: status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"admitted":`) {
+		t.Fatalf("unexpected quiesce body: %s", body)
+	}
+	// The reopened server must serve at least the three drained inserts
+	// on top of the seed.
+	var q struct {
+		Admitted int `json:"admitted"`
+	}
+	if err := json.Unmarshal(body, &q); err != nil {
+		t.Fatal(err)
+	}
+	if want := bootProfiles(t, out.String()) + 3; q.Admitted != want {
+		t.Errorf("reopened server admitted %d profiles, want seed+inserts = %d", q.Admitted, want)
+	}
+	cancel2()
+	if err := <-done2; err != nil {
+		t.Fatalf("reopened server drain: %v (output: %s)", err, out2.String())
+	}
+}

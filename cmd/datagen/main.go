@@ -6,11 +6,23 @@
 //	datagen -dataset ar1 -scale 0.1 -seed 42 -dir ./data
 //
 // writes ar1-E1.csv, ar1-E2.csv (clean-clean only) and ar1-truth.csv.
+//
+// With -profiles N the command switches to the streaming synthesizer:
+//
+//	datagen -dataset stream -profiles 5000000 -seed 42 -dir ./data
+//
+// writes <dataset>-E1.csv and <dataset>-truth.csv with N synthetic
+// dirty profiles (~10% duplicate re-descriptions), generating each
+// profile on the fly — memory stays bounded no matter how large N is,
+// so millions of profiles are routine.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"path/filepath"
 
@@ -18,54 +30,138 @@ import (
 	"blast/internal/model"
 )
 
-func main() {
-	name := flag.String("dataset", "ar1", "benchmark name: ar1 ar2 prd mov dbp census cora cddb paper-fig1")
-	scale := flag.Float64("scale", 0.1, "fraction of paper-scale size")
-	seed := flag.Uint64("seed", 42, "random seed")
-	dir := flag.String("dir", ".", "output directory")
-	flag.Parse()
+// config is the parsed command line.
+type config struct {
+	name     string
+	scale    float64
+	seed     uint64
+	dir      string
+	profiles int
+}
 
-	if err := run(*name, *scale, *seed, *dir); err != nil {
+// parseFlags parses and validates the command line; invalid flags are
+// usage errors (main exits 2) and never reach the generators.
+func parseFlags(args []string, w io.Writer) (config, error) {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var cfg config
+	fs.StringVar(&cfg.name, "dataset", "ar1", "benchmark name: ar1 ar2 prd mov dbp census cora cddb paper-fig1")
+	fs.Float64Var(&cfg.scale, "scale", 0.1, "fraction of paper-scale size")
+	fs.Uint64Var(&cfg.seed, "seed", 42, "random seed")
+	fs.StringVar(&cfg.dir, "dir", ".", "output directory")
+	fs.IntVar(&cfg.profiles, "profiles", 0, "stream this many synthetic profiles instead of a named benchmark")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	fail := func(format string, a ...any) (config, error) {
+		err := fmt.Errorf(format, a...)
+		fmt.Fprintf(w, "datagen: %v\n", err)
+		fs.Usage()
+		return cfg, err
+	}
+	if cfg.name == "" {
+		return fail("-dataset must not be empty")
+	}
+	if cfg.dir == "" {
+		return fail("-dir must not be empty")
+	}
+	if cfg.profiles < 0 {
+		return fail("-profiles must not be negative, got %d", cfg.profiles)
+	}
+	// NaN fails the > 0 comparison, so one predicate rejects zero,
+	// negative, NaN and infinite scales alike.
+	if cfg.profiles == 0 && (!(cfg.scale > 0) || math.IsInf(cfg.scale, 0)) {
+		return fail("-scale must be a positive finite number, got %v", cfg.scale)
+	}
+	return cfg, nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		os.Exit(2)
+	}
+	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name string, scale float64, seed uint64, dir string) error {
-	gen, err := datasets.ByName(name)
+// syncer is the optional durability hook of a WriteCloser (os.File).
+type syncer interface{ Sync() error }
+
+// writeAll streams fn's output into wc, syncs it when the writer
+// supports syncing, and closes it. Every error is reported: a mid-write
+// failure is joined with the close error instead of discarding it, and
+// a clean write that fails to sync or close still fails the call — the
+// caller must not report success until the bytes are on disk.
+func writeAll(wc io.WriteCloser, fn func(io.Writer) error) error {
+	err := fn(wc)
+	if err == nil {
+		if s, ok := wc.(syncer); ok {
+			err = s.Sync()
+		}
+	}
+	return errors.Join(err, wc.Close())
+}
+
+// writeCSV creates path, streams fn into it via writeAll, and announces
+// the file on out only after the close succeeded — "wrote" is a
+// durability claim, not an intention.
+func writeCSV(path string, out io.Writer, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	ds := gen(scale, seed)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := writeAll(f, fn); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Fprintln(out, "wrote", path)
+	return nil
+}
+
+func run(cfg config, out io.Writer) error {
+	if err := os.MkdirAll(cfg.dir, 0o755); err != nil {
 		return err
 	}
-
-	write := func(suffix string, fn func(f *os.File) error) error {
-		path := filepath.Join(dir, fmt.Sprintf("%s-%s.csv", name, suffix))
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		if err := fn(f); err != nil {
-			f.Close()
-			return fmt.Errorf("%s: %w", path, err)
-		}
-		fmt.Println("wrote", path)
-		return f.Close()
+	path := func(suffix string) string {
+		return filepath.Join(cfg.dir, fmt.Sprintf("%s-%s.csv", cfg.name, suffix))
 	}
 
-	if err := write("E1", func(f *os.File) error { return datasets.WriteCollection(f, ds.E1) }); err != nil {
+	if cfg.profiles > 0 {
+		s := datasets.NewStream(cfg.profiles, cfg.seed)
+		if err := writeCSV(path("E1"), out, s.WriteE1); err != nil {
+			return err
+		}
+		if err := writeCSV(path("truth"), out, s.WriteTruth); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "stream: %d profiles\n", s.Len())
+		return nil
+	}
+
+	gen, err := datasets.ByName(cfg.name)
+	if err != nil {
+		return err
+	}
+	ds := gen(cfg.scale, cfg.seed)
+	if err := writeCSV(path("E1"), out, func(w io.Writer) error {
+		return datasets.WriteCollection(w, ds.E1)
+	}); err != nil {
 		return err
 	}
 	if ds.Kind == model.CleanClean {
-		if err := write("E2", func(f *os.File) error { return datasets.WriteCollection(f, ds.E2) }); err != nil {
+		if err := writeCSV(path("E2"), out, func(w io.Writer) error {
+			return datasets.WriteCollection(w, ds.E2)
+		}); err != nil {
 			return err
 		}
 	}
-	if err := write("truth", func(f *os.File) error { return datasets.WriteTruth(f, ds) }); err != nil {
+	if err := writeCSV(path("truth"), out, func(w io.Writer) error {
+		return datasets.WriteTruth(w, ds)
+	}); err != nil {
 		return err
 	}
-	fmt.Println(datasets.Describe(ds))
+	fmt.Fprintln(out, datasets.Describe(ds))
 	return nil
 }

@@ -378,6 +378,7 @@ func (p *Pipeline) serveDurable(ctx context.Context, blocks *Blocks, sopt Server
 		kind:     master.Kind(),
 		shards:   make([]*shard.Shard, n),
 		replicas: make([]*Index, n),
+		pers:     make([]*snapPersister, n),
 		nextID:   master.NumProfiles(),
 	}
 	for _, b := range batches {
@@ -428,6 +429,7 @@ func (p *Pipeline) serveDurable(ctx context.Context, blocks *Blocks, sopt Server
 				}
 			}
 			shOptI.Persist = sp.persist
+			srv.pers[i] = sp
 		}
 		srv.replicas[i] = rep
 		srv.shards[i] = shard.New(i, indexWriter{rep}, snap, shOptI)

@@ -1,0 +1,411 @@
+package experiments
+
+// load.go: the network serving-tier load experiment. Where serve.go
+// measures the in-process Server under mixed load, this experiment
+// drives the blasthttp front end over real loopback HTTP: concurrent
+// writer clients POSTing insert batches (profiles from the streaming
+// synthesizer) race concurrent reader clients GETting candidates, and
+// the run ends with a differential check that every HTTP response body
+// is byte-identical to the in-process Server call it fronts. The CI
+// gate (cmd/benchdiff) checks insert throughput and read p99 against a
+// committed baseline and fails by name on Match=false.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blast"
+	"blast/blasthttp"
+	"blast/internal/datasets"
+	"blast/internal/model"
+	"blast/internal/stats"
+)
+
+// LoadRow summarizes one HTTP load configuration: c writer clients and
+// c reader clients against a blasthttp handler over a sharded Server.
+type LoadRow struct {
+	Dataset      string `json:"dataset"`
+	Clients      int    `json:"clients"`
+	Shards       int    `json:"shards"`
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	BaseProfiles int    `json:"base_profiles"`
+	Streamed     int    `json:"streamed"`
+
+	// InsertThroughput is admitted profiles per second over the mixed
+	// phase (writer wall clock, durability receipts included).
+	InsertThroughput float64 `json:"inserts_per_sec"`
+	// Rejected429 counts insert requests shed by backpressure (each was
+	// retried until admission, so Streamed profiles always land).
+	Rejected429 int64 `json:"rejected_429"`
+	// Batches is the number of InsertAll commits the write path
+	// coalesced the insert requests into.
+	Batches int64 `json:"batches"`
+
+	// Read latency distribution during the mixed phase (whole HTTP
+	// round trips, racing the writers).
+	ReadP50 time.Duration `json:"read_p50_ns"`
+	ReadP95 time.Duration `json:"read_p95_ns"`
+	ReadP99 time.Duration `json:"read_p99_ns"`
+	// ReadThroughput is aggregate HTTP reads/sec over the post-quiesce
+	// read-only window.
+	ReadThroughput float64 `json:"reads_per_sec"`
+
+	// Match records the post-run differential: candidates, threshold
+	// and pairs responses over HTTP byte-identical to the in-process
+	// Server encodings. The benchdiff gate fails by name when false.
+	Match bool `json:"match"`
+}
+
+// loadInsertBatch is the profiles-per-POST of the writer clients.
+const loadInsertBatch = 4
+
+// Load drives mixed read/write HTTP traffic against the blasthttp
+// front end on one registry dataset (default census) for each client
+// count (default 2 and 4; c means c writers + c readers). window is
+// the read-only measurement phase (0 selects 150ms).
+func Load(cfg Config, name string, clientCounts []int, shards int, window time.Duration) ([]LoadRow, error) {
+	if name == "" {
+		name = "census"
+	}
+	if len(clientCounts) == 0 {
+		clientCounts = []int{2, 4}
+	}
+	if shards <= 0 {
+		shards = 2
+	}
+	if window <= 0 {
+		window = 150 * time.Millisecond
+	}
+	full, err := cfg.load(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := blast.NewPipeline(blast.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	sch, err := p.InduceSchema(ctx, full)
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := p.Block(ctx, full, sch)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]LoadRow, 0, len(clientCounts))
+	for _, c := range clientCounts {
+		row, err := loadConfig(cfg, p, blocks, full.NumProfiles(), c, shards, window)
+		if err != nil {
+			return nil, fmt.Errorf("%s clients=%d: %w", name, c, err)
+		}
+		row.Dataset = name
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// loadConfig measures one client count against a fresh server.
+func loadConfig(cfg Config, p *blast.Pipeline, blocks *blast.Blocks, baseProfiles, clients, shards int, window time.Duration) (LoadRow, error) {
+	ctx := context.Background()
+	srv, err := p.ServeBlocks(ctx, blocks, blast.ServerOptions{Shards: shards, SwapOps: serveSwapOps})
+	if err != nil {
+		return LoadRow{}, err
+	}
+	defer srv.Close()
+	h := blasthttp.NewHandler(srv, blasthttp.Options{})
+	defer h.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return LoadRow{}, err
+	}
+	hs := &http.Server{Handler: h}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	// One shared keep-alive client: the load should measure the serving
+	// tier, not TCP handshakes.
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        4 * clients,
+		MaxIdleConnsPerHost: 4 * clients,
+	}}
+	defer client.CloseIdleConnections()
+
+	// The insert stream: synthetic profiles from the streaming source,
+	// split contiguously among the writer clients.
+	perClientStream := int(600 * cfg.Scale)
+	if perClientStream < 8*loadInsertBatch {
+		perClientStream = 8 * loadInsertBatch
+	}
+	streamed := perClientStream * clients
+	stream := datasets.NewStream(streamed, cfg.Seed^0x10ad)
+
+	var rejected atomic.Int64
+	writer := func(lo, hi int) error {
+		for off := lo; off < hi; off += loadInsertBatch {
+			end := min(off+loadInsertBatch, hi)
+			body, err := insertRequestBody(stream.Profiles(off, end))
+			if err != nil {
+				return err
+			}
+			for {
+				resp, err := client.Post(base+"/v1/insert", "application/json", bytes.NewReader(body))
+				if err != nil {
+					return err
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+				if resp.StatusCode != http.StatusTooManyRequests {
+					return fmt.Errorf("insert: status %d", resp.StatusCode)
+				}
+				// Shed by backpressure: honor the server's Retry-After
+				// hint, then re-offer the same batch.
+				rejected.Add(1)
+				sleepRetryAfter(resp)
+			}
+		}
+		return nil
+	}
+
+	// Mixed phase: readers sample whole HTTP round trips while the
+	// writers drive the insert stream to completion.
+	var stop atomic.Bool
+	var readErr atomic.Value
+	lat := make([][]time.Duration, clients)
+	var readers sync.WaitGroup
+	for r := 0; r < clients; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			rng := stats.NewRNG(uint64(r)*6151 + 11)
+			for !stop.Load() {
+				q0 := time.Now()
+				if err := getDiscard(client, base+"/v1/candidates?profile="+strconv.Itoa(rng.Intn(baseProfiles))); err != nil {
+					readErr.CompareAndSwap(nil, err)
+					return
+				}
+				lat[r] = append(lat[r], time.Since(q0))
+			}
+		}(r)
+	}
+	perClient := streamed / clients
+	var writers sync.WaitGroup
+	writerErrs := make([]error, clients)
+	t0 := time.Now()
+	for wtr := 0; wtr < clients; wtr++ {
+		writers.Add(1)
+		go func(wtr int) {
+			defer writers.Done()
+			lo := wtr * perClient
+			hi := lo + perClient
+			if wtr == clients-1 {
+				hi = streamed
+			}
+			writerErrs[wtr] = writer(lo, hi)
+		}(wtr)
+	}
+	writers.Wait()
+	mixed := time.Since(t0)
+	stop.Store(true)
+	readers.Wait()
+	for _, err := range writerErrs {
+		if err != nil {
+			return LoadRow{}, err
+		}
+	}
+	if err, _ := readErr.Load().(error); err != nil {
+		return LoadRow{}, err
+	}
+
+	// Quiesce over the wire, then measure read-only throughput.
+	resp, err := client.Post(base+"/v1/quiesce", "application/json", nil)
+	if err != nil {
+		return LoadRow{}, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return LoadRow{}, fmt.Errorf("quiesce: status %d", resp.StatusCode)
+	}
+
+	var total atomic.Int64
+	var ro sync.WaitGroup
+	deadline := time.Now().Add(window)
+	for r := 0; r < clients; r++ {
+		ro.Add(1)
+		go func(r int) {
+			defer ro.Done()
+			rng := stats.NewRNG(uint64(r)*7877 + 5)
+			n := int64(0)
+			for time.Now().Before(deadline) {
+				if err := getDiscard(client, base+"/v1/candidates?profile="+strconv.Itoa(rng.Intn(srv.NumProfiles()))); err != nil {
+					readErr.CompareAndSwap(nil, err)
+					return
+				}
+				n++
+			}
+			total.Add(n)
+		}(r)
+	}
+	ro.Wait()
+	if err, _ := readErr.Load().(error); err != nil {
+		return LoadRow{}, err
+	}
+
+	var all []time.Duration
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	st := h.Stats()
+	row := LoadRow{
+		Clients:        clients,
+		Shards:         shards,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		BaseProfiles:   baseProfiles,
+		Streamed:       streamed,
+		Rejected429:    st.Rejected,
+		Batches:        st.Batches,
+		ReadP50:        percentile(all, 0.50),
+		ReadP95:        percentile(all, 0.95),
+		ReadP99:        percentile(all, 0.99),
+		ReadThroughput: float64(total.Load()) / window.Seconds(),
+	}
+	if mixed > 0 {
+		row.InsertThroughput = float64(streamed) / mixed.Seconds()
+	}
+	match, err := loadDifferential(client, base, srv)
+	if err != nil {
+		return LoadRow{}, err
+	}
+	row.Match = match
+	return row, nil
+}
+
+// loadDifferential byte-compares HTTP responses against the in-process
+// encodings on a sample of profile ids (boundaries and out-of-range ids
+// included) plus the full pairs body. The quiesced, writer-free server
+// makes the comparison exact.
+func loadDifferential(client *http.Client, base string, srv *blast.Server) (bool, error) {
+	n := srv.NumProfiles()
+	ids := []int{-1, 0, n - 1, n, n + 1, 2 * n}
+	for i := 0; i < n; i += max(1, n/128) {
+		ids = append(ids, i)
+	}
+	for _, id := range ids {
+		got, err := getBytes(client, base+"/v1/candidates?profile="+strconv.Itoa(id))
+		if err != nil {
+			return false, err
+		}
+		want, err := blasthttp.CandidatesBody(srv, id)
+		if err != nil {
+			return false, err
+		}
+		if !bytes.Equal(got, want) {
+			return false, nil
+		}
+		got, err = getBytes(client, base+"/v1/threshold?profile="+strconv.Itoa(id))
+		if err != nil {
+			return false, err
+		}
+		want, err = blasthttp.ThresholdBody(srv, id)
+		if err != nil {
+			return false, err
+		}
+		if !bytes.Equal(got, want) {
+			return false, nil
+		}
+	}
+	got, err := getBytes(client, base+"/v1/pairs")
+	if err != nil {
+		return false, err
+	}
+	want, err := blasthttp.PairsBody(context.Background(), srv)
+	if err != nil {
+		return false, err
+	}
+	return bytes.Equal(got, want), nil
+}
+
+// insertRequestBody renders one writer POST body.
+func insertRequestBody(profiles []model.Profile) ([]byte, error) {
+	req := blasthttp.InsertRequest{Profiles: make([]blasthttp.ProfileJSON, len(profiles))}
+	for i, p := range profiles {
+		req.Profiles[i] = blasthttp.FromProfile(p)
+	}
+	return json.Marshal(req)
+}
+
+// sleepRetryAfter honors a 429's Retry-After header (seconds), with a
+// short floor so a missing header cannot busy-spin the writer.
+func sleepRetryAfter(resp *http.Response) {
+	d := 5 * time.Millisecond
+	if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+		d = time.Duration(s) * time.Second
+	}
+	time.Sleep(d)
+}
+
+// getDiscard performs one GET, draining and closing the body.
+func getDiscard(client *http.Client, url string) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return nil
+}
+
+// getBytes performs one GET and returns the full body.
+func getBytes(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// RenderLoad formats the load series.
+func RenderLoad(rows []LoadRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "HTTP serving tier under concurrent mixed load (loopback, writers+readers per client count)\n")
+	fmt.Fprintf(&b, "%-8s %7s %7s %8s %10s %7s %8s %9s %9s %9s %12s %6s\n",
+		"dataset", "clients", "shards", "streamed", "inserts/s", "429s", "batches", "p50", "p95", "p99", "reads/s", "match")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %7d %7d %8d %10.0f %7d %8d %9s %9s %9s %12.0f %6v\n",
+			r.Dataset, r.Clients, r.Shards, r.Streamed, r.InsertThroughput, r.Rejected429,
+			r.Batches, r.ReadP50, r.ReadP95, r.ReadP99, r.ReadThroughput, r.Match)
+	}
+	return b.String()
+}
+
+// LoadJSON renders the rows as indented JSON (the CI artifact
+// BENCH_load.json).
+func LoadJSON(rows []LoadRow) ([]byte, error) {
+	return json.MarshalIndent(rows, "", "  ")
+}

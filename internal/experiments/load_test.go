@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLoadSmoke(t *testing.T) {
+	cfg := Config{Scale: 0.02, Seed: 7}
+	rows, err := Load(cfg, "census", []int{2}, 2, 40*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Dataset != "census" || r.Clients != 2 || r.Shards != 2 {
+		t.Errorf("row mislabeled: %+v", r)
+	}
+	if !r.Match {
+		t.Error("HTTP responses diverge from in-process Server calls")
+	}
+	if r.Streamed <= 0 || r.InsertThroughput <= 0 {
+		t.Errorf("insert side did not run: streamed=%d throughput=%f", r.Streamed, r.InsertThroughput)
+	}
+	if r.Batches <= 0 {
+		t.Errorf("no insert batches committed: %+v", r)
+	}
+	if r.ReadThroughput <= 0 {
+		t.Errorf("read-only window measured nothing: %+v", r)
+	}
+	if r.ReadP50 < 0 || r.ReadP95 < r.ReadP50 || r.ReadP99 < r.ReadP95 {
+		t.Errorf("latency percentiles not monotone: p50=%v p95=%v p99=%v", r.ReadP50, r.ReadP95, r.ReadP99)
+	}
+	if out := RenderLoad(rows); out == "" {
+		t.Error("RenderLoad returned nothing")
+	}
+	if _, err := LoadJSON(rows); err != nil {
+		t.Errorf("LoadJSON: %v", err)
+	}
+}

@@ -119,13 +119,19 @@ func inScope(a *Analyzer, pkgPath, filename string) bool {
 		return pkgPath == "blast/internal/prune" || pkgPath == "blast/internal/graph"
 	case "syncerr":
 		// The durability path: a dropped error here silently voids the
-		// "ids are a durability receipt" contract.
+		// "ids are a durability receipt" contract. The commands and the
+		// HTTP front end are output paths with the same failure mode — a
+		// "wrote"/200 claim over bytes that never reached their sink.
 		switch {
 		case pkgPath == "blast/internal/wal":
 			return true
 		case pkgPath == "blast/internal/shard" && base == "persist.go":
 			return true
 		case pkgPath == "blast" && base == "durable.go":
+			return true
+		case pkgPath == "blast/blasthttp":
+			return true
+		case strings.HasPrefix(pkgPath, "blast/cmd/"):
 			return true
 		}
 		return false

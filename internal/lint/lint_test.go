@@ -47,6 +47,10 @@ func TestScopeTable(t *testing.T) {
 		{SyncErr, "blast/internal/shard", "shard.go", false},
 		{SyncErr, "blast", "durable.go", true},
 		{SyncErr, "blast", "pipeline.go", false},
+		{SyncErr, "blast/blasthttp", "blasthttp.go", true},
+		{SyncErr, "blast/cmd/datagen", "main.go", true},
+		{SyncErr, "blast/cmd/blastserve", "main.go", true},
+		{SyncErr, "blast/internal/experiments", "load.go", false},
 		{SnapshotMut, "blast/internal/shard", "shard.go", true},
 		{SnapshotMut, "blast/internal/shard", "persist.go", false},
 		{SnapshotMut, "blast", "durable.go", true},

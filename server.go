@@ -62,7 +62,8 @@ type Server struct {
 	kind     model.Kind
 	shards   []*shard.Shard
 	replicas []*Index
-	dur      *durability // nil unless ServerOptions.Dir was set
+	dur      *durability      // nil unless ServerOptions.Dir was set
+	pers     []*snapPersister // per-shard, nil entries where persistence is off
 
 	mu     sync.Mutex
 	nextID int
@@ -508,6 +509,19 @@ func (s *Server) Close() error {
 	}
 	wg.Wait()
 	errs = append(errs, shErrs...)
+	// Final snapshot: with the workers joined, persist each shard's last
+	// published snapshot if it sits past the last file on disk. A drained
+	// shutdown then leaves snapshots at the final WAL position, so the
+	// next open restores without replay. Safe without locking — the
+	// persister is otherwise touched only by the (now exited) worker.
+	for i, sp := range s.pers {
+		if sp == nil || shErrs[i] != nil {
+			continue
+		}
+		if snap := s.shards[i].Snapshot(); snap.Batches > sp.last {
+			errs = append(errs, sp.persistNow(snap))
+		}
+	}
 	if s.dur != nil {
 		errs = append(errs, s.dur.close())
 	}

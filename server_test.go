@@ -331,6 +331,134 @@ func TestServerConcurrentSnapshotSwap(t *testing.T) {
 	}
 }
 
+// TestServerBoundaryIDsUnderChurn hammers the id-range boundary while
+// writers advance it: reads at and beyond NumProfiles race publications
+// that make those very ids valid. The invariants are that a boundary
+// read never panics, never returns a nil candidate slice, never serves
+// a non-zero threshold for an id that is still beyond every published
+// epoch, and that per-shard epochs observed through boundary ids stay
+// monotone. Ids beyond the final admission ceiling must read as empty
+// throughout, no matter how the race interleaves.
+func TestServerBoundaryIDsUnderChurn(t *testing.T) {
+	ctx := context.Background()
+	rng := stats.NewRNG(71)
+	ds := synthDirty(rng, 50)
+	p, err := NewPipeline(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 3
+	srv, err := p.Serve(ctx, ds, ServerOptions{Shards: shards, SwapOps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// The admission ceiling: base profiles plus everything the writers
+	// will ever insert. Ids at or past it are invalid for the whole run.
+	const writerGoroutines, writerBatches, batchLen = 2, 10, 3
+	ceiling := srv.NumProfiles() + writerGoroutines*writerBatches*batchLen
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var buf []Candidate
+			lastEpoch := make(map[int]uint64)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := srv.NumProfiles()
+				// The boundary band [n-1, n+2] races the writers — any id
+				// in it may become valid mid-read; the only invariants are
+				// non-nil results and monotone epochs. Ids at the ceiling
+				// and beyond must stay empty under every interleaving.
+				for _, id := range []int{n - 1, n, n + 1, n + 2, ceiling, ceiling + 1 + i%7, 1 << 29, -1} {
+					if buf = srv.AppendCandidates(buf[:0], id); buf == nil {
+						t.Errorf("AppendCandidates(%d) returned nil under churn", id)
+						return
+					}
+					if id >= ceiling || id < 0 {
+						if len(buf) != 0 {
+							t.Errorf("Candidates(%d) non-empty beyond the admission ceiling %d", id, ceiling)
+							return
+						}
+						if th := srv.Threshold(id); th != 0 {
+							t.Errorf("Threshold(%d) = %v beyond the admission ceiling", id, th)
+							return
+						}
+					} else {
+						srv.Threshold(id)
+					}
+					if id < 0 {
+						if e := srv.Epoch(id); e != 0 {
+							t.Errorf("Epoch(%d) = %d, want 0", id, e)
+							return
+						}
+						continue
+					}
+					own := shard.Owner(int32(id), shards)
+					if e := srv.Epoch(id); e < lastEpoch[own] {
+						t.Errorf("epoch of shard %d moved backwards via boundary id %d", own, id)
+						return
+					} else {
+						lastEpoch[own] = e
+					}
+				}
+			}
+		}(r)
+	}
+	var wmu sync.Mutex
+	wrng := stats.NewRNG(173)
+	for w := 0; w < writerGoroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < writerBatches; b++ {
+				wmu.Lock()
+				profs := make([]model.Profile, batchLen)
+				for i := range profs {
+					profs[i] = synthProfile(wrng, fmt.Sprintf("edge%d-%d-%d", w, b, i))
+				}
+				wmu.Unlock()
+				if _, err := srv.InsertAll(ctx, profs); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				if b%4 == 3 {
+					if err := srv.Quiesce(ctx); err != nil {
+						t.Errorf("quiesce: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Post-churn: everything below the ceiling is now published and must
+	// serve; the ceiling itself must still read as empty.
+	if err := srv.Quiesce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.NumProfiles(); n != ceiling {
+		t.Fatalf("NumProfiles = %d after churn, want %d", n, ceiling)
+	}
+	if c := srv.Candidates(ceiling - 1); len(c) == 0 {
+		t.Error("last admitted profile serves no candidates")
+	}
+	if c := srv.Candidates(ceiling); c == nil || len(c) != 0 {
+		t.Errorf("Candidates(ceiling) = %v, want empty non-nil", c)
+	}
+}
+
 // TestServerLifecycleAndBoundaries covers the non-happy paths: closed
 // servers reject writes but keep serving reads, out-of-range ids serve
 // empty results, cancelled contexts admit nothing, options validate, and
