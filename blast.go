@@ -113,17 +113,75 @@ func (c Compaction) minEntries() int {
 // disabled reports whether automatic compaction is switched off.
 func (c Compaction) disabled() bool { return c.MaxOverlayFraction < 0 }
 
+// Topology selects how a Server's shards divide the index state.
+type Topology int
+
+const (
+	// TopologyReplicated (the zero value) gives every shard a full
+	// writable index replica: write work and memory grow with the shard
+	// count in exchange for read-side parallelism. This is the original
+	// Server behavior and the right trade for read-heavy serving.
+	TopologyReplicated Topology = iota
+	// TopologyPartitioned gives each shard only the adjacency, weights
+	// and retention marks of the rows hash-owned by it. Cross-shard edge
+	// state (degree vectors, weight-sum partials, histogram cuts, top-k
+	// marks) is resolved at publish time by exchanging compact per-shard
+	// aggregates in deterministic shard order, so a quiesced partitioned
+	// server stays byte-identical to the replicated one. Per-shard
+	// graph memory shrinks with the shard count.
+	TopologyPartitioned
+)
+
+// String implements fmt.Stringer.
+func (t Topology) String() string {
+	switch t {
+	case TopologyReplicated:
+		return "replicated"
+	case TopologyPartitioned:
+		return "partitioned"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
+// ParseTopology maps a topology name ("replicated", "partitioned" —
+// the String() forms) back to the enum value. The flag-parsing
+// counterpart of String for cmd/blastserve and friends.
+func ParseTopology(s string) (Topology, error) {
+	for _, t := range []Topology{TopologyReplicated, TopologyPartitioned} {
+		if s == t.String() {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("blast: unknown topology %q: valid names are %q and %q",
+		s, TopologyReplicated, TopologyPartitioned)
+}
+
+// Validate rejects unknown topology values with a descriptive error.
+func (t Topology) Validate() error {
+	switch t {
+	case TopologyReplicated, TopologyPartitioned:
+		return nil
+	default:
+		return fmt.Errorf("blast: unknown %v: valid topologies are TopologyReplicated (0, full replica per shard) and TopologyPartitioned (1, per-shard row ownership)", t)
+	}
+}
+
 // ServerOptions configures a sharded snapshot-swap Server (see
-// Pipeline.Serve). The zero value is valid: one shard, default swap
-// cadence.
+// Pipeline.Serve). The zero value is valid: one replicated shard,
+// default swap cadence.
 type ServerOptions struct {
-	// Shards is the number of shard workers. Each shard owns a writable
-	// Index replica on its write path and serves reads for the profiles
-	// hash-sharded to it from an immutable published snapshot; 0 selects
-	// 1. Replication multiplies write work and memory by the shard
-	// count in exchange for read-side parallelism, which is the
-	// intended trade for read-heavy candidate serving.
+	// Shards is the number of shard workers. Under TopologyReplicated
+	// each shard owns a writable Index replica on its write path and
+	// serves reads for the profiles hash-sharded to it from an immutable
+	// published snapshot; 0 selects 1. Under TopologyPartitioned each
+	// shard owns only its rows' graph state. Replication multiplies
+	// write work and memory by the shard count in exchange for read-side
+	// parallelism; partitioning divides graph memory across shards
+	// instead.
 	Shards int
+	// Topology selects replicated (zero value) or partitioned shards.
+	Topology Topology
 	// SwapOps publishes a fresh read snapshot after this many streamed
 	// profiles have been applied on a shard since its last publication.
 	// 0 selects 256; negative disables the op-count trigger, leaving
@@ -164,57 +222,72 @@ func (so ServerOptions) Validate() error {
 	if so.Shards < 0 || so.Shards > maxServerShards {
 		return fmt.Errorf("blast: Shards = %d outside [0, %d] (0 selects 1; each shard is a full replica)", so.Shards, maxServerShards)
 	}
+	if err := so.Topology.Validate(); err != nil {
+		return err
+	}
 	if so.Dir == "" && (so.SyncEvery != 0 || so.SnapshotEvery != 0) {
 		return fmt.Errorf("blast: SyncEvery/SnapshotEvery = %d/%d without Dir: durability knobs need a durable directory", so.SyncEvery, so.SnapshotEvery)
 	}
 	return nil
 }
 
-// shards resolves the shard count (0 -> 1).
-func (so ServerOptions) shards() int {
+// WithDefaults returns a copy of the options with every defaultable
+// field resolved to its effective value, so callers (cmd/blastserve,
+// tests, docs) read the policy the Server will actually run instead of
+// re-deriving the zero-value mappings. Resolution: Shards 0 -> 1;
+// SwapOps 0 -> 256; SyncEvery 0 -> 1 and SnapshotEvery 0 -> 64 when Dir
+// is set (they are unused otherwise and left alone). Any negative knob
+// means "disabled" and normalizes to -1. WithDefaults is idempotent and
+// is the single place the defaulting lives; Validate accepts its
+// output whenever it accepts the input.
+func (so ServerOptions) WithDefaults() ServerOptions {
 	if so.Shards == 0 {
-		return 1
+		so.Shards = 1
 	}
-	return so.Shards
+	norm := func(v, def int) int {
+		switch {
+		case v == 0:
+			return def
+		case v < 0:
+			return -1
+		default:
+			return v
+		}
+	}
+	so.SwapOps = norm(so.SwapOps, 256)
+	if so.Dir != "" {
+		so.SyncEvery = norm(so.SyncEvery, 1)
+		so.SnapshotEvery = norm(so.SnapshotEvery, 64)
+	}
+	return so
 }
 
-// swapOps resolves the op-count swap trigger (0 -> 256, negative ->
-// disabled).
+// shards resolves the effective shard count.
+func (so ServerOptions) shards() int { return so.WithDefaults().Shards }
+
+// swapOps resolves the effective op-count swap trigger (0 = disabled).
 func (so ServerOptions) swapOps() int {
-	switch {
-	case so.SwapOps == 0:
-		return 256
-	case so.SwapOps < 0:
-		return 0
-	default:
-		return so.SwapOps
+	if v := so.WithDefaults().SwapOps; v > 0 {
+		return v
 	}
+	return 0
 }
 
-// walSyncEvery resolves the WAL fsync policy (0 -> every batch,
-// negative -> never).
+// walSyncEvery resolves the effective WAL fsync policy (0 = never).
 func (so ServerOptions) walSyncEvery() int {
-	switch {
-	case so.SyncEvery == 0:
-		return 1
-	case so.SyncEvery < 0:
-		return 0
-	default:
-		return so.SyncEvery
+	if v := so.WithDefaults().SyncEvery; v > 0 {
+		return v
 	}
+	return 0
 }
 
-// snapshotEvery resolves the snapshot persistence cadence in batches
-// (0 -> 64, negative -> disabled).
+// snapshotEvery resolves the effective snapshot persistence cadence in
+// batches (0 = disabled).
 func (so ServerOptions) snapshotEvery() int64 {
-	switch {
-	case so.SnapshotEvery == 0:
-		return 64
-	case so.SnapshotEvery < 0:
-		return 0
-	default:
-		return int64(so.SnapshotEvery)
+	if v := so.WithDefaults().SnapshotEvery; v > 0 {
+		return int64(v)
 	}
+	return 0
 }
 
 // LSHOptions configures the optional MinHash/banding acceleration of

@@ -240,8 +240,12 @@ type QuiesceResponse struct {
 	Published int `json:"published"`
 }
 
-// StatszResponse is the body of GET /statsz.
+// StatszResponse is the body of GET /statsz. Topology names the shard
+// topology; the per-shard entries carry the owned-rows and
+// resident-bytes counters that make the partitioned memory claim
+// observable per process.
 type StatszResponse struct {
+	Topology  string        `json:"topology"`
 	Admitted  int           `json:"admitted"`
 	Published int           `json:"published"`
 	Shards    []shard.Stats `json:"shards"`
@@ -278,23 +282,19 @@ func FromProfile(p model.Profile) ProfileJSON {
 
 // CandidatesBody renders the canonical /v1/candidates response body for
 // one profile of an in-process Server — the oracle half of the load
-// experiment's HTTP-vs-in-process differential. The epoch and the
-// candidate list are re-read until they observe the same publication,
-// so the pairing is consistent even while snapshots swap underneath.
-func CandidatesBody(srv *blast.Server, profile int) ([]byte, error) {
-	var cands []blast.Candidate
-	epoch := srv.Epoch(profile)
-	for {
-		cands = srv.AppendCandidates(cands[:0], profile)
-		if e := srv.Epoch(profile); e == epoch {
-			break
-		} else {
-			epoch = e
-		}
+// experiment's HTTP-vs-in-process differential. The body is read
+// through an epoch-consistent Server.View, so the reported epoch and
+// the candidate list always observe one publication, even while
+// snapshots swap underneath.
+func CandidatesBody(ctx context.Context, srv *blast.Server, profile int) ([]byte, error) {
+	v, err := srv.View(ctx)
+	if err != nil {
+		return nil, err
 	}
+	cands := v.Candidates(profile)
 	resp := CandidatesResponse{
 		Profile: profile,
-		Epoch:   epoch,
+		Epoch:   v.Epoch(profile),
 		Count:   len(cands),
 		Results: make([]CandidateJSON, len(cands)),
 	}
@@ -304,19 +304,14 @@ func CandidatesBody(srv *blast.Server, profile int) ([]byte, error) {
 	return marshalBody(resp)
 }
 
-// ThresholdBody renders the canonical /v1/threshold response body.
-func ThresholdBody(srv *blast.Server, profile int) ([]byte, error) {
-	epoch := srv.Epoch(profile)
-	var th float64
-	for {
-		th = srv.Threshold(profile)
-		if e := srv.Epoch(profile); e == epoch {
-			break
-		} else {
-			epoch = e
-		}
+// ThresholdBody renders the canonical /v1/threshold response body,
+// read through an epoch-consistent Server.View like CandidatesBody.
+func ThresholdBody(ctx context.Context, srv *blast.Server, profile int) ([]byte, error) {
+	v, err := srv.View(ctx)
+	if err != nil {
+		return nil, err
 	}
-	return marshalBody(ThresholdResponse{Profile: profile, Epoch: epoch, Threshold: th})
+	return marshalBody(ThresholdResponse{Profile: profile, Epoch: v.Epoch(profile), Threshold: v.Threshold(profile)})
 }
 
 // PairsBody renders the canonical /v1/pairs response body.
@@ -448,7 +443,7 @@ func (h *Handler) handleCandidates(w http.ResponseWriter, r *http.Request) {
 		h.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	body, err := CandidatesBody(h.srv, p)
+	body, err := CandidatesBody(r.Context(), h.srv, p)
 	if err != nil {
 		h.writeError(w, http.StatusInternalServerError, err)
 		return
@@ -462,7 +457,7 @@ func (h *Handler) handleThreshold(w http.ResponseWriter, r *http.Request) {
 		h.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	body, err := ThresholdBody(h.srv, p)
+	body, err := ThresholdBody(r.Context(), h.srv, p)
 	if err != nil {
 		h.writeError(w, http.StatusInternalServerError, err)
 		return
@@ -508,6 +503,7 @@ func (h *Handler) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (h *Handler) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	h.writeValue(w, StatszResponse{
+		Topology:  h.srv.Topology().String(),
 		Admitted:  h.srv.Admitted(),
 		Published: h.srv.NumProfiles(),
 		Shards:    h.srv.Stats(),

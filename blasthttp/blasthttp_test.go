@@ -156,7 +156,7 @@ func TestEndpointsAndDifferential(t *testing.T) {
 	// Differential: candidates, thresholds (boundary ids included) and
 	// pairs over HTTP must be byte-identical to the in-process oracle.
 	for _, p := range []int{0, 1, 17, 40, 42, 43, 44, 100000, -3} {
-		want, err := CandidatesBody(srv, p)
+		want, err := CandidatesBody(context.Background(), srv, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -170,7 +170,7 @@ func TestEndpointsAndDifferential(t *testing.T) {
 		if !bytes.Equal(got, want) {
 			t.Errorf("candidates(%d): HTTP %s != in-process %s", p, got, want)
 		}
-		wantT, err := ThresholdBody(srv, p)
+		wantT, err := ThresholdBody(context.Background(), srv, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -521,5 +521,57 @@ func TestGoroutineLeak(t *testing.T) {
 	}
 	if n := runtime.NumGoroutine(); n > base {
 		t.Errorf("goroutines leaked: %d > %d", n, base)
+	}
+}
+
+// TestStatszTopology: /statsz names the serving topology and carries
+// the per-shard residency counters — under partitioning the owned rows
+// must partition the profile space instead of replicating it.
+func TestStatszTopology(t *testing.T) {
+	for _, topo := range []blast.Topology{blast.TopologyReplicated, blast.TopologyPartitioned} {
+		t.Run(topo.String(), func(t *testing.T) {
+			p, err := blast.NewPipeline(blast.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv, err := p.Serve(context.Background(), testDataset(stats.NewRNG(7), 40),
+				blast.ServerOptions{Shards: 2, Topology: topo, SwapOps: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			h := NewHandler(srv, Options{})
+			defer h.Close()
+			ts := httptest.NewServer(h)
+			defer ts.Close()
+			resp, body := getBody(t, ts.Client(), ts.URL+"/statsz")
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("statsz status %d", resp.StatusCode)
+			}
+			var st StatszResponse
+			if err := json.Unmarshal(body, &st); err != nil {
+				t.Fatalf("statsz body: %v", err)
+			}
+			if st.Topology != topo.String() {
+				t.Fatalf("statsz topology %q, want %q", st.Topology, topo)
+			}
+			if len(st.Shards) != 2 {
+				t.Fatalf("statsz reports %d shards", len(st.Shards))
+			}
+			owned := 0
+			for _, sh := range st.Shards {
+				if sh.ResidentBytes <= 0 {
+					t.Fatalf("shard %d reports %d resident bytes", sh.ID, sh.ResidentBytes)
+				}
+				owned += sh.OwnedRows
+			}
+			want := 2 * 40
+			if topo == blast.TopologyPartitioned {
+				want = 40
+			}
+			if owned != want {
+				t.Fatalf("%v: owned rows sum to %d, want %d", topo, owned, want)
+			}
+		})
 	}
 }

@@ -32,6 +32,16 @@
 //     and every current row must report Match=true — an HTTP front end
 //     whose response bytes diverge from the in-process Server calls it
 //     fronts is a named failure regardless of timing.
+//   - partition: per-cell (dataset/topology/shards) write throughput
+//     must not shrink more than threshold; every current row must
+//     report PairsMatch=true; and the partitioned topology's per-shard
+//     resident memory at the largest shard count must come in at or
+//     under -max-partition-mem (default 0.6) of its 1-shard row —
+//     partitioned shards own disjoint row slices, so flat per-shard
+//     memory means the partitioning is not actually partitioning. The
+//     memory ceiling is only enforced when the artifact's host has at
+//     least -min-scaling-procs CPUs, keeping the gate on the same
+//     runner class as the other structural floors.
 //
 // Degenerate artifact values — zero, negative, NaN or Inf where a
 // latency, throughput, speedup or scaling factor belongs — are a named
@@ -51,6 +61,7 @@
 //	go run ./cmd/blastbench -exp prune -scale 0.5 -json > bench/baselines/BENCH_prune.json
 //	go run ./cmd/blastbench -exp recover -scale 0.5 -json > bench/baselines/BENCH_recover.json
 //	go run ./cmd/blastbench -exp load -scale 0.5 -json > bench/baselines/BENCH_load.json
+//	go run ./cmd/blastbench -exp partition -scale 0.5 -json > bench/baselines/BENCH_partition.json
 package main
 
 import (
@@ -72,9 +83,10 @@ func main() {
 	minScaling := flag.Float64("min-serve-scaling", 2.0, "required read-throughput scaling, largest shard count vs 1")
 	minPrune := flag.Float64("min-prune-speedup", 2.0, "required pruning speedup at the largest worker count vs serial")
 	minProcs := flag.Int("min-scaling-procs", 4, "minimum GOMAXPROCS recorded in the artifact for the scaling and speedup floors to be enforced")
+	maxPartMem := flag.Float64("max-partition-mem", 0.6, "ceiling on partitioned per-shard memory at the largest shard count, as a fraction of the 1-shard row")
 	flag.Parse()
 
-	failures, err := run(os.Stdout, *baseDir, *curDir, *threshold, *minScaling, *minPrune, *minProcs)
+	failures, err := run(os.Stdout, *baseDir, *curDir, *threshold, *minScaling, *minPrune, *maxPartMem, *minProcs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
@@ -138,6 +150,20 @@ func floorCheck(metric string, floor, cur float64) check {
 	return c
 }
 
+// ceilingCheck is floorCheck's mirror for metrics that must come in AT
+// OR UNDER an absolute bound over the current run alone (the
+// partitioned per-shard memory fraction).
+func ceilingCheck(metric string, ceiling, cur float64) check {
+	c := check{metric: metric, baseline: ceiling, current: cur}
+	if bad := degenerateNote(cur); bad != "" {
+		c.note = "degenerate current (" + bad + ")"
+		return c
+	}
+	c.ok = cur <= ceiling
+	c.note = "ceiling, not baseline"
+	return c
+}
+
 // loadJSON decodes one artifact into rows; (nil, nil) when the file
 // does not exist.
 func loadJSON[T any](dir, name string) ([]T, error) {
@@ -164,7 +190,7 @@ type check struct {
 	note     string
 }
 
-func run(w io.Writer, baseDir, curDir string, threshold, minScaling, minPrune float64, minProcs int) (failures int, err error) {
+func run(w io.Writer, baseDir, curDir string, threshold, minScaling, minPrune, maxPartMem float64, minProcs int) (failures int, err error) {
 	var checks []check
 	add := func(c check) {
 		checks = append(checks, c)
@@ -434,6 +460,67 @@ func run(w io.Writer, baseDir, curDir string, threshold, minScaling, minPrune fl
 				ok:     false,
 				note:   "HTTP responses diverged from in-process Server calls",
 			})
+		}
+	}
+
+	// partition: per-cell write throughput vs baseline, the differential
+	// flag, and the partitioned per-shard memory ceiling over the
+	// current run alone — a partitioned topology whose per-shard memory
+	// does not shrink with the shard count is replicating, not
+	// partitioning, and fails by name even when no baseline exists yet.
+	basePT, err := loadJSON[experiments.PartitionRow](baseDir, "BENCH_partition.json")
+	if err != nil {
+		return 0, err
+	}
+	curPT, err := loadJSON[experiments.PartitionRow](curDir, "BENCH_partition.json")
+	if err != nil {
+		return 0, err
+	}
+	if basePT == nil {
+		fmt.Fprintln(w, "partition: no baseline, throughput comparison skipped")
+	} else {
+		if curPT == nil {
+			return 0, fmt.Errorf("missing current BENCH_partition.json (baseline exists)")
+		}
+		key := func(r experiments.PartitionRow) string {
+			return fmt.Sprintf("%s/%s/shards=%d", r.Dataset, r.Topology, r.Shards)
+		}
+		cur := make(map[string]experiments.PartitionRow, len(curPT))
+		for _, r := range curPT {
+			cur[key(r)] = r
+		}
+		for _, b := range basePT {
+			c, found := cur[key(b)]
+			if !found {
+				add(check{metric: "partition/" + key(b) + " inserts/s", baseline: b.InsertThroughput, ok: false, note: "configuration missing from current run"})
+				continue
+			}
+			add(gated("partition/"+key(b)+" inserts/s", b.InsertThroughput, c.InsertThroughput, threshold, false))
+		}
+	}
+	if curPT != nil {
+		var top *experiments.PartitionRow
+		for i := range curPT {
+			r := &curPT[i]
+			if !r.PairsMatch {
+				add(check{
+					metric: fmt.Sprintf("partition/%s/%s/shards=%d match", r.Dataset, r.Topology, r.Shards),
+					ok:     false,
+					note:   "server diverged from the cold rebuild",
+				})
+			}
+			if r.Topology == "partitioned" && (top == nil || r.Shards > top.Shards) {
+				top = r
+			}
+		}
+		switch {
+		case top == nil || top.Shards <= 1:
+			fmt.Fprintln(w, "partition: no multi-shard partitioned row, memory ceiling skipped")
+		case top.GOMAXPROCS < minProcs:
+			fmt.Fprintf(w, "partition: memory ceiling skipped (GOMAXPROCS %d < %d; gated on the CI runner class)\n", top.GOMAXPROCS, minProcs)
+		default:
+			add(ceilingCheck(fmt.Sprintf("partition/%s per-shard mem %d vs 1 shard", top.Dataset, top.Shards),
+				maxPartMem, top.MemVs1))
 		}
 	}
 

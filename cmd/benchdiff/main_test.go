@@ -52,7 +52,7 @@ func TestGatePassesWithinThreshold(t *testing.T) {
 		serveRow("dbp", "server", 4, 8, 2.5e6, 2.5),
 	})
 	var out strings.Builder
-	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestGateCatchesRegressions(t *testing.T) {
 	writeJSON(t, base, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 4, 8, 2e6, 2.5)})
 	writeJSON(t, cur, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 4, 8, 1e6, 1.2)}) // -50% and scaling < 2
 	var out strings.Builder
-	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestGateScalingFloorSkippedOnSmallHosts(t *testing.T) {
 	writeJSON(t, base, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 4, 1, 1e6, 0.8)})
 	writeJSON(t, cur, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 4, 1, 1e6, 0.8)})
 	var out strings.Builder
-	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestGateMissingFiles(t *testing.T) {
 	base, cur := t.TempDir(), t.TempDir()
 	// No baselines at all: everything skips, gate passes.
 	var out strings.Builder
-	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,13 +118,13 @@ func TestGateMissingFiles(t *testing.T) {
 	}
 	// Baseline present but current missing: hard error.
 	writeJSON(t, base, "BENCH_query.json", []experiments.QueryRow{queryRow("ar1", 100)})
-	if _, err := run(&out, base, cur, 0.25, 2.0, 2.0, 4); err == nil {
+	if _, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4); err == nil {
 		t.Error("missing current artifact must error")
 	}
 	// Dataset present in baseline but dropped from current: regression.
 	writeJSON(t, cur, "BENCH_query.json", []experiments.QueryRow{queryRow("other", 100)})
 	out.Reset()
-	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestGateDegenerateBaseline(t *testing.T) {
 	writeJSON(t, base, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 1, 8, -1, 1)})
 	writeJSON(t, cur, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 1, 8, 1e6, 1)})
 	var out strings.Builder
-	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +198,7 @@ func TestGateDegenerateCurrent(t *testing.T) {
 	writeJSON(t, base, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 4, 8, 1e6, 2.5)})
 	writeJSON(t, cur, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 4, 8, 0, 0)})
 	var out strings.Builder
-	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func TestGatePrune(t *testing.T) {
 		pruneRow("dbp", "blast-wnp", 4, 8, 44*time.Millisecond, 2.5, true),
 	})
 	var out strings.Builder
-	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +240,7 @@ func TestGatePrune(t *testing.T) {
 		pruneRow("dbp", "blast-wnp", 4, 8, 150*time.Millisecond, 1.33, false), // diverged AND below floor
 	})
 	out.Reset()
-	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +260,7 @@ func TestGatePrune(t *testing.T) {
 		pruneRow("dbp", "blast-wnp", 4, 1, 100*time.Millisecond, 0.9, true),
 	})
 	out.Reset()
-	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +276,7 @@ func TestGatePrune(t *testing.T) {
 		pruneRow("dbp", "cep", 4, 1, 100*time.Millisecond, 0.9, true),
 	})
 	out.Reset()
-	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +304,7 @@ func TestGateRecover(t *testing.T) {
 		recoverRow("census", "walreplay", 2, 210*time.Millisecond, true),
 	})
 	var out strings.Builder
-	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +319,7 @@ func TestGateRecover(t *testing.T) {
 		recoverRow("census", "walreplay", 2, 210*time.Millisecond, false), // diverged
 	})
 	out.Reset()
-	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +333,7 @@ func TestGateRecover(t *testing.T) {
 	// The match flag gates even when no baseline exists yet.
 	os.Remove(filepath.Join(base, "BENCH_recover.json"))
 	out.Reset()
-	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,7 +349,7 @@ func TestGateRecover(t *testing.T) {
 		recoverRow("census", "snapshot", 2, 50*time.Millisecond, true),
 	})
 	out.Reset()
-	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +377,7 @@ func TestGateLoad(t *testing.T) {
 		loadRow("census", 4, 8100, 3*time.Millisecond, true),
 	})
 	var out strings.Builder
-	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,7 +392,7 @@ func TestGateLoad(t *testing.T) {
 		loadRow("census", 4, 8000, 9*time.Millisecond, false), // +200% AND diverged
 	})
 	out.Reset()
-	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -406,7 +406,7 @@ func TestGateLoad(t *testing.T) {
 	// The match flag gates even when no baseline exists yet.
 	os.Remove(filepath.Join(base, "BENCH_load.json"))
 	out.Reset()
-	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -422,7 +422,93 @@ func TestGateLoad(t *testing.T) {
 		loadRow("census", 2, 5000, 2*time.Millisecond, true),
 	})
 	out.Reset()
-	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 4)
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1 for dropped cell\n%s", failures, out.String())
+	}
+}
+
+func partitionRow(topo string, shards, procs int, inserts, memVs1 float64, match bool) experiments.PartitionRow {
+	return experiments.PartitionRow{Dataset: "dbp", Topology: topo, Shards: shards, GOMAXPROCS: procs,
+		InsertThroughput: inserts, MaxResidentBytes: 1 << 20, MemVs1: memVs1, PairsMatch: match}
+}
+
+// TestGatePartition covers the topology artifact: per-cell write
+// throughput regression, the differential flag (gated even with no
+// baseline), and the partitioned per-shard memory ceiling with its
+// small-host skip.
+func TestGatePartition(t *testing.T) {
+	base, cur := t.TempDir(), t.TempDir()
+	writeJSON(t, base, "BENCH_partition.json", []experiments.PartitionRow{
+		partitionRow("replicated", 1, 8, 5000, 1, true),
+		partitionRow("partitioned", 1, 8, 5000, 1, true),
+		partitionRow("partitioned", 4, 8, 6000, 0.3, true),
+	})
+	writeJSON(t, cur, "BENCH_partition.json", []experiments.PartitionRow{
+		partitionRow("replicated", 1, 8, 4600, 1, true), // -8% < 25%
+		partitionRow("partitioned", 1, 8, 5100, 1, true),
+		partitionRow("partitioned", 4, 8, 5900, 0.32, true), // ceiling 0.6 holds
+	})
+	var out strings.Builder
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("failures = %d within threshold\n%s", failures, out.String())
+	}
+
+	// Collapsed write throughput, a diverged topology, and flat per-shard
+	// memory at 4 partitioned shards: three named failures.
+	writeJSON(t, cur, "BENCH_partition.json", []experiments.PartitionRow{
+		partitionRow("replicated", 1, 8, 1000, 1, true), // -80%
+		partitionRow("partitioned", 1, 8, 5000, 1, true),
+		partitionRow("partitioned", 4, 8, 6000, 0.95, false), // flat memory AND diverged
+	})
+	out.Reset()
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 3 {
+		t.Fatalf("failures = %d, want 3 (throughput, match, memory ceiling)\n%s", failures, out.String())
+	}
+	if !strings.Contains(out.String(), "diverged from the cold rebuild") {
+		t.Errorf("missing divergence note:\n%s", out.String())
+	}
+
+	// The match flag gates even when no baseline exists yet; the memory
+	// ceiling is skipped on a small host (same runner-class rule as the
+	// other structural floors).
+	os.Remove(filepath.Join(base, "BENCH_partition.json"))
+	writeJSON(t, cur, "BENCH_partition.json", []experiments.PartitionRow{
+		partitionRow("partitioned", 1, 1, 5000, 1, true),
+		partitionRow("partitioned", 4, 1, 6000, 0.95, false), // diverged; ceiling skipped on 1 CPU
+	})
+	out.Reset()
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1 (match only; baseline absent, small host)\n%s", failures, out.String())
+	}
+	if !strings.Contains(out.String(), "memory ceiling skipped") {
+		t.Errorf("missing skip note:\n%s", out.String())
+	}
+
+	// A baseline cell missing from the current run is a regression.
+	writeJSON(t, base, "BENCH_partition.json", []experiments.PartitionRow{
+		partitionRow("replicated", 2, 8, 5000, 1, true),
+	})
+	writeJSON(t, cur, "BENCH_partition.json", []experiments.PartitionRow{
+		partitionRow("replicated", 1, 8, 5000, 1, true),
+	})
+	out.Reset()
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -437,7 +523,7 @@ func TestGateMalformedJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if _, err := run(&out, base, cur, 0.25, 2.0, 2.0, 4); err == nil {
+	if _, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4); err == nil {
 		t.Error("malformed baseline must error")
 	}
 }

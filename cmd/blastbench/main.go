@@ -8,7 +8,7 @@
 //
 // Experiments: table2 table3 table4 table5 table6 table7 fig5 fig8 fig9
 // fig10 endtoend scalability engines query incremental prune serve
-// recover load baselines standard all. -scale multiplies the per-dataset default sizes (see
+// recover load partition baselines standard all. -scale multiplies the per-dataset default sizes (see
 // internal/experiments); absolute metrics depend on it, comparative
 // structure does not. The engines experiment compares the edge-list and
 // node-centric meta-blocking engines (time, allocation, output
@@ -24,8 +24,12 @@
 // the load experiment drives concurrent HTTP clients (mixed read/write)
 // against the blasthttp front end over loopback, reporting insert
 // throughput, read latency under churn, and a differential check that
-// HTTP responses are byte-identical to in-process Server calls.
-// For all seven, -json renders machine-readable JSON (the CI benchmark
+// HTTP responses are byte-identical to in-process Server calls; the
+// partition experiment compares the replicated and partitioned
+// topologies across shard counts, reporting write throughput and
+// per-shard state residency (partitioned shards own disjoint row
+// slices, so per-shard memory must shrink as shards are added).
+// For all eight, -json renders machine-readable JSON (the CI benchmark
 // artifacts).
 package main
 
@@ -39,11 +43,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table2..table7, fig5, fig8, fig9, fig10, endtoend, scalability, engines, query, incremental, prune, serve, recover, load, baselines, all")
+	exp := flag.String("exp", "all", "experiment id: table2..table7, fig5, fig8, fig9, fig10, endtoend, scalability, engines, query, incremental, prune, serve, recover, load, partition, baselines, all")
 	dataset := flag.String("dataset", "", "dataset for table4/table7/endtoend/engines/query/incremental/prune/recover (default: every applicable)")
 	scale := flag.Float64("scale", 1, "scale multiplier over per-dataset defaults")
 	seed := flag.Uint64("seed", 42, "random seed")
-	jsonOut := flag.Bool("json", false, "render the engines/query/incremental/prune/serve/recover/load experiments as JSON")
+	jsonOut := flag.Bool("json", false, "render the engines/query/incremental/prune/serve/recover/load/partition experiments as JSON")
 	flag.Parse()
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed}
@@ -292,6 +296,27 @@ func run(cfg experiments.Config, exp, dataset string, jsonOut bool) error {
 		}
 		fmt.Println("== Load: HTTP front end under concurrent mixed traffic ==")
 		fmt.Print(experiments.RenderLoad(rows))
+	case "partition":
+		// dataset defaults to dbp (the largest registry dataset) inside
+		// Partition; shard counts 1/2/4 x both topologies give the series
+		// the CI regression gate checks (per-cell write throughput, the
+		// partitioned per-shard memory shrink from 1 to the largest shard
+		// count, and the differential check that fails the run on
+		// divergence).
+		rows, err := experiments.Partition(cfg, dataset, nil)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			js, err := experiments.PartitionJSON(rows)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(js))
+			return nil
+		}
+		fmt.Println("== Partition: replicated vs partitioned topology across shard counts ==")
+		fmt.Print(experiments.RenderPartition(rows))
 	case "baselines":
 		name := dataset
 		if name == "" {
@@ -312,7 +337,7 @@ func run(cfg experiments.Config, exp, dataset string, jsonOut bool) error {
 		fmt.Print(experiments.RenderStandard(rows))
 	case "all":
 		for _, e := range []string{"table2", "table3", "table4", "table5", "table6", "table7",
-			"fig5", "fig8", "fig9", "fig10", "endtoend", "scalability", "engines", "query", "incremental", "prune", "serve", "recover", "load", "baselines", "standard"} {
+			"fig5", "fig8", "fig9", "fig10", "endtoend", "scalability", "engines", "query", "incremental", "prune", "serve", "recover", "load", "partition", "baselines", "standard"} {
 			// Always the text rendering: interleaving one JSON array into
 			// the combined report would serve neither reader.
 			if err := run(cfg, e, dataset, false); err != nil {

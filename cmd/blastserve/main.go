@@ -41,12 +41,13 @@ import (
 
 // config is the parsed command line.
 type config struct {
-	addr    string
-	dataset string
-	scale   float64
-	seed    uint64
-	shards  int
-	swapOps int
+	addr     string
+	dataset  string
+	scale    float64
+	seed     uint64
+	shards   int
+	swapOps  int
+	topology blast.Topology
 
 	dir           string
 	syncEvery     int
@@ -72,8 +73,9 @@ func parseFlags(args []string, w io.Writer) (config, error) {
 	fs.StringVar(&cfg.dataset, "dataset", "census", "bootstrap dataset: ar1 ar2 prd mov dbp census cora cddb paper-fig1")
 	fs.Float64Var(&cfg.scale, "scale", 0.1, "fraction of paper-scale size for the bootstrap dataset")
 	fs.Uint64Var(&cfg.seed, "seed", 42, "random seed for the bootstrap dataset")
-	fs.IntVar(&cfg.shards, "shards", 2, "shard workers (each a full replica)")
+	fs.IntVar(&cfg.shards, "shards", 2, "shard workers (full replicas, or row-owning partitions under -topology partitioned)")
 	fs.IntVar(&cfg.swapOps, "swap-ops", 0, "publish a snapshot every N applied profiles (0 = default)")
+	topology := fs.String("topology", blast.TopologyReplicated.String(), "shard topology: replicated or partitioned")
 	fs.StringVar(&cfg.dir, "dir", "", "durable directory (empty = in-memory only)")
 	fs.IntVar(&cfg.syncEvery, "sync-every", 0, "fsync the WALs every N admitted batches (0 = every batch)")
 	fs.IntVar(&cfg.snapshotEvery, "snapshot-every", 0, "persist a snapshot every N admitted batches (0 = default)")
@@ -104,6 +106,11 @@ func parseFlags(args []string, w io.Writer) (config, error) {
 	if cfg.shards < 1 {
 		return fail("-shards must be at least 1, got %d", cfg.shards)
 	}
+	topo, err := blast.ParseTopology(*topology)
+	if err != nil {
+		return fail("-topology: %v", err)
+	}
+	cfg.topology = topo
 	if cfg.drainTimeout <= 0 {
 		return fail("-drain-timeout must be positive, got %v", cfg.drainTimeout)
 	}
@@ -142,6 +149,7 @@ func run(ctx context.Context, cfg config, out io.Writer, ready chan<- string) er
 	}
 	srv, err := p.Serve(ctx, ds, blast.ServerOptions{
 		Shards:        cfg.shards,
+		Topology:      cfg.topology,
 		SwapOps:       cfg.swapOps,
 		Dir:           cfg.dir,
 		SyncEvery:     cfg.syncEvery,
@@ -166,8 +174,8 @@ func run(ctx context.Context, cfg config, out io.Writer, ready chan<- string) er
 	if cfg.dir != "" {
 		durable = ", durable " + cfg.dir
 	}
-	fmt.Fprintf(out, "blastserve: %s scale %g seed %d: %d profiles, %d shards%s\n",
-		cfg.dataset, cfg.scale, cfg.seed, srv.NumProfiles(), cfg.shards, durable)
+	fmt.Fprintf(out, "blastserve: %s scale %g seed %d: %d profiles, %d %s shards%s\n",
+		cfg.dataset, cfg.scale, cfg.seed, srv.NumProfiles(), cfg.shards, cfg.topology, durable)
 	fmt.Fprintf(out, "blastserve: serving on http://%s\n", ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr().String()

@@ -48,6 +48,7 @@ func TestParseFlagsValidation(t *testing.T) {
 		{"zero shards", []string{"-shards", "0"}},
 		{"empty addr", []string{"-addr", ""}},
 		{"bad drain timeout", []string{"-drain-timeout", "0s"}},
+		{"unknown topology", []string{"-topology", "mirrored"}},
 		{"unknown flag", []string{"-nope"}},
 	}
 	for _, tc := range cases {
@@ -60,6 +61,12 @@ func TestParseFlagsValidation(t *testing.T) {
 	}
 	if _, err := parseFlags([]string{"-dataset", "census", "-scale", "0.02"}, io.Discard); err != nil {
 		t.Errorf("valid flags rejected: %v", err)
+	}
+	cfg, err := parseFlags([]string{"-topology", "partitioned", "-shards", "4"}, io.Discard)
+	if err != nil {
+		t.Errorf("partitioned topology rejected: %v", err)
+	} else if cfg.topology.String() != "partitioned" || cfg.shards != 4 {
+		t.Errorf("parsed topology %v shards %d, want partitioned/4", cfg.topology, cfg.shards)
 	}
 }
 

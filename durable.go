@@ -44,6 +44,18 @@ package blast
 // byte-identical to a cold IndexBlocks over seed + replayed inserts —
 // the same contract Quiesce establishes, enforced by the differential
 // matrix in durable_test.go and the SIGKILL harness in crash_test.go.
+//
+// Partitioned topology. Under ServerOptions.Topology ==
+// TopologyPartitioned the layout is the same but both artifact kinds
+// hold only owned state: shard i's WAL records carry just the profiles
+// whose assigned ids hash to i (wal.AppendOwnedBatch — every shard
+// still journals every batch, so the common-cut rule is unchanged), and
+// its snapshot files are owned-rows slices (BLSNAP02). Recovery
+// reassembles the full batch sequence from the per-shard subsets with
+// fail-closed coverage checks, replays it into every shard's appender,
+// and restores the published snapshots either by adopting a complete
+// at-cut set from disk (the replay-free path a drained Close leaves) or
+// by slicing a cold master rebuild. See finishDurablePartitioned.
 
 import (
 	"bytes"
@@ -77,6 +89,21 @@ type durManifest struct {
 	Kind         string `json:"kind"`
 	SeedProfiles int    `json:"seed_profiles"`
 	SeedBlocks   uint64 `json:"seed_blocks_fnv"`
+	// Topology records the shard topology the directory journals for.
+	// The empty string means replicated — the only topology that existed
+	// before the field did, so directories from older versions reopen
+	// cleanly — and the WAL record format depends on it: replicated logs
+	// hold full batches, partitioned logs hold per-shard owned subsets.
+	Topology string `json:"topology,omitempty"`
+}
+
+// manifestTopology renders a Topology for the manifest, mapping the
+// replicated zero value onto the field's backward-compatible zero.
+func manifestTopology(t Topology) string {
+	if t == TopologyReplicated {
+		return ""
+	}
+	return t.String()
 }
 
 func durWalPath(dir string, id int) string {
@@ -160,6 +187,13 @@ type durability struct {
 	wals    []*wal.Log
 	scratch []byte
 	sticky  error
+	// parts > 0 selects partitioned journaling: shard i's log takes only
+	// the profiles it owns of each batch (by assigned id), every shard
+	// still journaling every batch so record counts stay aligned. base is
+	// the id the next batch's first profile will be assigned; appendBatch
+	// runs under the server's admission lock, so it tracks nextID exactly.
+	parts int
+	base  int
 }
 
 func (d *durability) err() error {
@@ -178,8 +212,17 @@ func (d *durability) appendBatch(batch []model.Profile) error {
 	if d.sticky != nil {
 		return d.sticky
 	}
-	d.scratch = wal.AppendBatch(d.scratch[:0], batch)
 	for i, l := range d.wals {
+		if d.parts > 0 {
+			base := d.base
+			d.scratch = wal.AppendOwnedBatch(d.scratch[:0], batch, func(k int) bool {
+				return shard.Owner(int32(base+k), d.parts) == i
+			})
+		} else if i == 0 {
+			// Replicated logs all take the identical full-batch encoding;
+			// encode it once.
+			d.scratch = wal.AppendBatch(d.scratch[:0], batch)
+		}
 		if err := l.Append(d.scratch); err != nil {
 			for j := 0; j < i; j++ {
 				if rbErr := d.wals[j].Truncate(d.wals[j].Records() - 1); rbErr != nil {
@@ -190,6 +233,7 @@ func (d *durability) appendBatch(batch []model.Profile) error {
 			return fmt.Errorf("blast: wal append (shard %d): %w", i, err)
 		}
 	}
+	d.base += len(batch)
 	return nil
 }
 
@@ -293,6 +337,7 @@ func (p *Pipeline) serveDurable(ctx context.Context, blocks *Blocks, sopt Server
 		Kind:         master.Kind().String(),
 		SeedProfiles: master.NumProfiles(),
 		SeedBlocks:   collectionFingerprint(blocks.Collection),
+		Topology:     manifestTopology(sopt.Topology),
 	}); err != nil {
 		return nil, err
 	}
@@ -326,6 +371,9 @@ func (p *Pipeline) serveDurable(ctx context.Context, blocks *Blocks, sopt Server
 			closeLogs()
 			return nil, err
 		}
+	}
+	if sopt.Topology == TopologyPartitioned {
+		return p.finishDurablePartitioned(ctx, blocks, master, sopt, dir, logs, recs, cut, closeLogs)
 	}
 	batches := make([][]model.Profile, cut)
 	for k := 0; k < cut; k++ {
@@ -436,6 +484,194 @@ func (p *Pipeline) serveDurable(ctx context.Context, blocks *Blocks, sopt Server
 	}
 	srv.dur = &durability{wals: logs}
 	return srv, nil
+}
+
+// finishDurablePartitioned is serveDurable's tail for the partitioned
+// topology, entered with the logs already open and truncated to the
+// common cut. Partitioned logs hold per-shard owned subsets, so
+// recovery first reassembles the admitted batch sequence: per record,
+// every shard's subset must decode, the batch lengths must agree, each
+// profile must come from exactly the shard owning its assigned id, and
+// every position must be covered — any gap or overlap fails closed.
+//
+// The writable side needs no snapshot-based restore: a partIndex holds
+// no decision state between exports (Export rebuilds the owned CSR from
+// the collection), so every shard simply replays all batches through
+// the ordinary append path. The initial published snapshots come from
+// the persisted owned snapshots when every shard has a usable one at
+// exactly the cut — the state a drained Close leaves behind, making the
+// common restart replay-free — and otherwise from slicing a full master
+// rebuild over seed plus replayed batches, byte-identical to what the
+// shards' own exchange-driven exports would produce.
+func (p *Pipeline) finishDurablePartitioned(ctx context.Context, blocks *Blocks, master *Index, sopt ServerOptions, dir string, logs []*wal.Log, recs [][][]byte, cut int, closeLogs func()) (*Server, error) {
+	n := sopt.shards()
+	batches, err := reassembleOwnedBatches(recs, cut, master.NumProfiles(), n)
+	if err != nil {
+		closeLogs()
+		return nil, err
+	}
+	expected := master.NumProfiles()
+	for _, b := range batches {
+		expected += len(b)
+	}
+
+	snaps := adoptOwnedSnapshots(dir, n, cut, expected)
+	if snaps == nil {
+		// No adoptable at-cut snapshot set: rebuild the union state cold
+		// and slice it. The master replay runs the ordinary insert path,
+		// so the sliced rows match the shards' own exports bit for bit.
+		for k, b := range batches {
+			if _, err := master.InsertAll(ctx, b); err != nil {
+				closeLogs()
+				return nil, fmt.Errorf("blast: wal replay, batch %d on master: %w", k, err)
+			}
+		}
+		full, err := master.exportSnapshot(ctx)
+		if err != nil {
+			closeLogs()
+			return nil, err
+		}
+		snaps = make([]*shard.Snapshot, n)
+		for i := 0; i < n; i++ {
+			snap := shard.SliceOwned(full, i, n)
+			maxEpoch := uint64(0)
+			for _, name := range snapFileNames(durSnapDir(dir, i)) {
+				maxEpoch = max(maxEpoch, snapFileEpoch(name))
+			}
+			if maxEpoch > 0 || cut > 0 {
+				// Same epoch discipline as the replicated recovery: publish
+				// strictly above every file on disk, at the WAL cut.
+				//blast:allow snapshotmut -- pre-publication tag of a freshly sliced private snapshot; no reader can hold it before shard.New
+				snap.Epoch = maxEpoch + 1
+				//blast:allow snapshotmut -- pre-publication tag of a freshly sliced private snapshot; no reader can hold it before shard.New
+				snap.Batches = int64(cut)
+			}
+			snaps[i] = snap
+		}
+	}
+
+	shOpt := p.shardOptions(sopt)
+	// Only the deterministic SwapOps cadence may trigger exports — see
+	// servePartitioned.
+	shOpt.MaxOverlayFraction = 0
+	ex := shard.NewExchange(n)
+	shOpt.OnFail = func(err error) { ex.Poison(err) }
+	srv := &Server{
+		kind:     master.Kind(),
+		topology: TopologyPartitioned,
+		shards:   make([]*shard.Shard, n),
+		parts:    make([]*partIndex, n),
+		pers:     make([]*snapPersister, n),
+		schema:   blocks.Schema,
+		nextID:   expected,
+	}
+	for i := 0; i < n; i++ {
+		px := newPartIndex(blocks.Collection.Clone(), blocks.Schema, p.opt, i, n, ex)
+		for k, b := range batches {
+			if _, err := px.InsertAll(ctx, b); err != nil {
+				closeLogs()
+				return nil, fmt.Errorf("blast: wal replay, batch %d on shard %d: %w", k, i, err)
+			}
+		}
+		shOptI := shOpt
+		if every := sopt.snapshotEvery(); every > 0 {
+			sp := &snapPersister{dir: durSnapDir(dir, i), every: every, keep: 2, last: int64(cut)}
+			if snaps[i].Epoch > 0 && snaps[i].Batches == int64(cut) {
+				// Rebuilt over a non-fresh directory: persist the recovered
+				// state so the next open can adopt it without replay. An
+				// adopted snapshot is already on disk; persistNow rewrites
+				// the same bytes, which is harmless and keeps one rule.
+				if err := sp.persistNow(snaps[i]); err != nil {
+					closeLogs()
+					return nil, err
+				}
+			}
+			shOptI.Persist = sp.persist
+			srv.pers[i] = sp
+		}
+		srv.parts[i] = px
+		srv.shards[i] = shard.New(i, px, snaps[i], shOptI)
+	}
+	srv.dur = &durability{wals: logs, parts: n, base: expected}
+	return srv, nil
+}
+
+// reassembleOwnedBatches rebuilds the admitted batch sequence from the
+// per-shard owned-subset records, failing closed on any disagreement:
+// diverging batch lengths, a profile journaled by a shard that does not
+// own its assigned id, or a position no shard covers. seed is the
+// profile count ids start from; within one shard the decoder already
+// rejects duplicate positions, and ownership makes cross-shard overlap
+// impossible, so covering every position exactly once reduces to a
+// count check.
+func reassembleOwnedBatches(recs [][][]byte, cut, seed, n int) ([][]model.Profile, error) {
+	batches := make([][]model.Profile, cut)
+	base := seed
+	for k := 0; k < cut; k++ {
+		var batch []model.Profile
+		var have []bool
+		blen, filled := -1, 0
+		for i := 0; i < n; i++ {
+			bl, entries, err := wal.DecodeOwnedBatch(recs[i][k])
+			if err != nil {
+				return nil, fmt.Errorf("blast: wal record %d (shard %d): %w", k, i, err)
+			}
+			if blen < 0 {
+				blen = bl
+				batch = make([]model.Profile, bl)
+				have = make([]bool, bl)
+			} else if bl != blen {
+				return nil, fmt.Errorf("blast: wal record %d: batch length differs between shards 0 (%d) and %d (%d); refusing to replay", k, blen, i, bl)
+			}
+			for _, e := range entries {
+				if shard.Owner(int32(base+e.Index), n) != i {
+					return nil, fmt.Errorf("blast: wal record %d: shard %d journaled profile %d it does not own; refusing to replay", k, i, e.Index)
+				}
+				batch[e.Index] = e.Profile
+				have[e.Index] = true
+				filled++
+			}
+		}
+		if filled != blen {
+			for j, ok := range have {
+				if !ok {
+					return nil, fmt.Errorf("blast: wal record %d: no shard journaled profile %d of %d; refusing to replay", k, j, blen)
+				}
+			}
+		}
+		batches[k] = batch
+		base += blen
+	}
+	return batches, nil
+}
+
+// adoptOwnedSnapshots tries to restore the initial published snapshots
+// directly from disk: usable only when EVERY shard has a snapshot file
+// that decodes, validates, and sits at exactly the WAL cut with the
+// right partition geometry and profile count. Partitioned snapshots
+// cannot be rolled forward (the writable side holds no decision state),
+// so a stale or missing file on any one shard forces the whole set onto
+// the cold rebuild path — adopting a mixed set would publish shards at
+// different stream positions.
+func adoptOwnedSnapshots(dir string, n, cut, numProfiles int) []*shard.Snapshot {
+	snaps := make([]*shard.Snapshot, n)
+	for i := 0; i < n; i++ {
+		sdir := durSnapDir(dir, i)
+		names := snapFileNames(sdir)
+		for k := len(names) - 1; k >= 0; k-- {
+			snap, err := shard.ReadSnapshotFile(filepath.Join(sdir, names[k]))
+			if err != nil || snap.Batches != int64(cut) || snap.NumProfiles != numProfiles ||
+				snap.PartShards != n || snap.PartShard != i {
+				continue
+			}
+			snaps[i] = snap
+			break
+		}
+		if snaps[i] == nil {
+			return nil
+		}
+	}
+	return snaps
 }
 
 // recoverReplica restores one shard's writable replica from its newest

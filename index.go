@@ -640,15 +640,23 @@ func (ix *Index) appendOneLocked(keys []blocking.KeyEntropy, st *insertState) (i
 // schema's key function qualifies them, and re-occurrences of a key
 // within the profile are deduplicated.
 func (ix *Index) profileKeys(p *model.Profile) []blocking.KeyEntropy {
-	key := ix.schema.keyFunc()
+	return tokenizeProfile(ix.schema, ix.kind, &ix.opt, p)
+}
+
+// tokenizeProfile is the schema tokenization shared by every streaming
+// writer (replicated Index, partitioned partIndex): one implementation
+// so the two topologies assign identical block keys to identical
+// profiles.
+func tokenizeProfile(schema *Schema, kind model.Kind, opt *Options, p *model.Profile) []blocking.KeyEntropy {
+	key := schema.keyFunc()
 	source := 0
-	if ix.kind == model.CleanClean {
+	if kind == model.CleanClean {
 		source = 1 // streamed profiles join E2
 	}
 	seen := make(map[string]bool)
 	var out []blocking.KeyEntropy
 	for _, pair := range p.Pairs {
-		for _, tok := range ix.opt.Transform.Terms(pair.Value) {
+		for _, tok := range opt.Transform.Terms(pair.Value) {
 			k, h, ok := key(source, pair.Name, tok)
 			if !ok || seen[k] {
 				continue

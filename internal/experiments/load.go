@@ -314,7 +314,7 @@ func loadDifferential(client *http.Client, base string, srv *blast.Server) (bool
 		if err != nil {
 			return false, err
 		}
-		want, err := blasthttp.CandidatesBody(srv, id)
+		want, err := blasthttp.CandidatesBody(context.Background(), srv, id)
 		if err != nil {
 			return false, err
 		}
@@ -325,7 +325,7 @@ func loadDifferential(client *http.Client, base string, srv *blast.Server) (bool
 		if err != nil {
 			return false, err
 		}
-		want, err = blasthttp.ThresholdBody(srv, id)
+		want, err = blasthttp.ThresholdBody(context.Background(), srv, id)
 		if err != nil {
 			return false, err
 		}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestPartitionShapesAndRender(t *testing.T) {
+	rows, err := Partition(tiny(), "ar1", []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One row per topology x shard count.
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	byKey := map[string]PartitionRow{}
+	for _, r := range rows {
+		if !r.PairsMatch {
+			t.Errorf("%s shards=%d diverged", r.Topology, r.Shards)
+		}
+		if r.InsertThroughput <= 0 || r.MaxOwnedRows <= 0 || r.MaxResidentBytes <= 0 {
+			t.Errorf("row shape: %+v", r)
+		}
+		if r.GOMAXPROCS < 1 || r.Streamed == 0 || r.BaseProfiles == 0 {
+			t.Errorf("row shape: %+v", r)
+		}
+		byKey[r.Topology+"/"+string(rune('0'+r.Shards))] = r
+	}
+	rep1, rep2 := byKey["replicated/1"], byKey["replicated/2"]
+	par1, par2 := byKey["partitioned/1"], byKey["partitioned/2"]
+	// Replicated shards each hold the full index; partitioned shards
+	// split it, so the 2-shard per-shard residency must come in under
+	// the 1-shard row's.
+	total := rep1.BaseProfiles + rep1.Streamed
+	if rep2.MaxOwnedRows != total || par1.MaxOwnedRows != total {
+		t.Errorf("full-residency rows: replicated/2 owns %d, partitioned/1 owns %d, want %d",
+			rep2.MaxOwnedRows, par1.MaxOwnedRows, total)
+	}
+	if par2.MaxOwnedRows >= total {
+		t.Errorf("partitioned/2 owns %d rows, want < %d", par2.MaxOwnedRows, total)
+	}
+	if par2.MaxResidentBytes >= par1.MaxResidentBytes {
+		t.Errorf("partitioned per-shard memory did not shrink: 1 shard %d, 2 shards %d",
+			par1.MaxResidentBytes, par2.MaxResidentBytes)
+	}
+	if par1.MemVs1 != 1 || par2.MemVs1 <= 0 || par2.MemVs1 >= 1 {
+		t.Errorf("memory scaling series: 1-shard %v, 2-shard %v", par1.MemVs1, par2.MemVs1)
+	}
+	out := RenderPartition(rows)
+	for _, want := range []string{"ar1", "replicated", "partitioned", "mem/1shd"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	js, err := PartitionJSON(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []PartitionRow
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatalf("artifact does not round-trip: %v", err)
+	}
+	if len(back) != len(rows) || back[1].InsertThroughput != rows[1].InsertThroughput {
+		t.Error("artifact round-trip mismatch")
+	}
+}
+
+func TestPartitionUnknownDataset(t *testing.T) {
+	if _, err := Partition(tiny(), "nope", []int{1}); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}

@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"blast/internal/blocking"
+)
+
+// BuildOwnedCSR constructs the owned-rows slice of the node-centric
+// blocking graph: Offsets spans every profile of the collection, but
+// adjacency runs are accumulated only for the rows owns selects — every
+// other row is an empty run. This is the build primitive of partitioned
+// sharding: each shard materializes 1/N of the adjacency (its owned
+// rows) from the shared compact block collection, and the per-entry
+// statistics (Common, ARCS, EntropySum) are bit-identical to the same
+// rows of a full BuildCSR, because per-node accumulation never consults
+// anything beyond the collection and the node's own block list.
+//
+// The collection-level header statistics (BlockCounts, TotalBlocks,
+// TotalComparisons) are global, exactly as in BuildCSR: they derive
+// from the collection, which every shard holds in full. Weights is
+// allocated to the owned-entry count; NumEdges() of the result counts
+// owned entries over two, which is NOT the global edge count — the
+// global count is resolved by exchanging owned degrees across shards.
+func BuildOwnedCSR(ctx context.Context, c *blocking.Collection, owns func(int32) bool, workers int) (*CSR, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	g := newCSRHeader(c)
+	ix := buildBlockIndex(c, g.BlockCounts)
+	inv := blockInverses(c)
+	if workers == 1 || c.NumProfiles < 2*workers {
+		acc := newNodeAcc(c.NumProfiles)
+		var st entryStore
+		for n := 0; n < c.NumProfiles; n++ {
+			if n%csrCancelCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			if owns(int32(n)) {
+				acc.accumulate(c, inv, &ix, int32(n))
+				st.appendNode(acc)
+				acc.reset()
+			}
+			g.Offsets[n+1] = int64(len(st.neighbors))
+		}
+		g.Neighbors, g.Common, g.ARCS, g.EntropySum =
+			st.neighbors, st.common, st.arcs, st.entropySum
+		g.Weights = make([]float64, len(g.Neighbors))
+		return g, nil
+	}
+
+	bounds := cutRanges(ix.offsets, workers)
+	chunks := make([]entryStore, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			acc := newNodeAcc(c.NumProfiles)
+			ch := &chunks[w]
+			for n := bounds[w]; n < bounds[w+1]; n++ {
+				if (n-bounds[w])%csrCancelCheckEvery == 0 && ctx.Err() != nil {
+					return
+				}
+				if owns(int32(n)) {
+					acc.accumulate(c, inv, &ix, int32(n))
+					ch.appendNode(acc)
+					acc.reset()
+				}
+				// Chunk-local offset; rebased after the join (disjoint
+				// ranges, so these writes do not race).
+				g.Offsets[n+1] = int64(len(ch.neighbors))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	total := 0
+	for w := range chunks {
+		total += len(chunks[w].neighbors)
+	}
+	g.Neighbors = make([]int32, 0, total)
+	g.Common = make([]int32, 0, total)
+	g.ARCS = make([]float64, 0, total)
+	g.EntropySum = make([]float64, 0, total)
+	base := int64(0)
+	for w := range chunks {
+		for n := bounds[w]; n < bounds[w+1]; n++ {
+			g.Offsets[n+1] += base
+		}
+		g.Neighbors = append(g.Neighbors, chunks[w].neighbors...)
+		g.Common = append(g.Common, chunks[w].common...)
+		g.ARCS = append(g.ARCS, chunks[w].arcs...)
+		g.EntropySum = append(g.EntropySum, chunks[w].entropySum...)
+		base += int64(len(chunks[w].neighbors))
+		chunks[w] = entryStore{}
+	}
+	g.Weights = make([]float64, len(g.Neighbors))
+	return g, nil
+}

@@ -115,8 +115,10 @@ func inScope(a *Analyzer, pkgPath, filename string) bool {
 		return deterministicPkgs[pkgPath]
 	case "ctxpoll":
 		// The edge-segment polling contract PR 5 established spans the
-		// CSR iteration surfaces.
-		return pkgPath == "blast/internal/prune" || pkgPath == "blast/internal/graph"
+		// CSR iteration surfaces; partitioned sharding added shard's
+		// snapshot pair enumeration to them.
+		return pkgPath == "blast/internal/prune" || pkgPath == "blast/internal/graph" ||
+			pkgPath == "blast/internal/shard"
 	case "syncerr":
 		// The durability path: a dropped error here silently voids the
 		// "ids are a durability receipt" contract. The commands and the

@@ -235,22 +235,36 @@ func stitchPairs(bufs [][]model.IDPair) []model.IDPair {
 	return out
 }
 
-// chunkPartialSums computes, per chunk, the left-to-right sum of the
-// canonical edge weights owned by the chunk plus the number of canonical
-// edges it holds. Combined in chunk order by combinePartials, the result
-// is THE canonical edge-weight sum of the graph — the edge-list WEP
-// computes bit-identical partials from its sorted edge slice (see
-// canonicalWeightSum in prune.go).
+// chunkPartialSums computes, per chunk, the sum of the canonical edge
+// weights owned by the chunk plus the number of canonical edges it
+// holds. The chunk sum is itself associated per row: each smaller-
+// endpoint row is summed left to right into its own partial, and the
+// row partials fold in ascending row order. Combined in chunk order by
+// combinePartials, the result is THE canonical edge-weight sum of the
+// graph — the edge-list WEP computes bit-identical partials from its
+// sorted edge slice (see canonicalWeightSum in prune.go), and a
+// partitioned server refolds the identical total from exchanged
+// per-row sums (see RowWeightSums).
 func chunkPartialSums(ctx context.Context, g *graph.CSR, workers int) (sums []float64, counts []int64, err error) {
 	nch := numChunks(g.NumProfiles)
 	sums = make([]float64, nch)
 	counts = make([]int64, nch)
 	err = runChunks(ctx, workers, nch, func(w *pruneWorker, chunk int) error {
 		s, n := 0.0, int64(0)
-		err := forChunkCanonical(g, w, chunk, func(_, _ int32, p int64) {
-			s += g.Weights[p]
+		rowSum, row := 0.0, int32(-1)
+		err := forChunkCanonical(g, w, chunk, func(u, _ int32, p int64) {
+			if u != row {
+				if row >= 0 {
+					s += rowSum
+				}
+				rowSum, row = 0, u
+			}
+			rowSum += g.Weights[p]
 			n++
 		})
+		if row >= 0 {
+			s += rowSum
+		}
 		sums[chunk], counts[chunk] = s, n
 		return err
 	})

@@ -84,26 +84,38 @@ func retained(keep []bool) []int {
 }
 
 // canonicalWeightSum sums the weights of a canonically sorted edge list
-// with the fixed-chunk reduction of the streaming schemes: one partial
-// per node chunk of the smaller endpoint, partials combined in chunk
+// with the fixed row-within-chunk reduction of the streaming schemes:
+// one partial per smaller-endpoint row, rows folded in ascending order
+// into one partial per node chunk, chunk partials combined in chunk
 // order. It is bit-identical to chunkPartialSums+combinePartials over
 // the CSR form of the same graph, which is what keeps the edge-list and
 // streaming WEP byte-identical at every worker count (the chunk
-// boundaries depend only on NumProfiles, never on workers).
+// boundaries depend only on NumProfiles, never on workers) — and the
+// per-row association is what lets partitioned shards exchange row sums
+// and refold the identical total.
 func canonicalWeightSum(edges []graph.Edge) float64 {
-	sum, partial := 0.0, 0.0
-	chunk := -1
+	sum, chunkPartial, rowPartial := 0.0, 0.0, 0.0
+	chunk, row := -1, int32(-1)
 	for i := range edges {
-		if c := int(edges[i].U) / chunkNodes; c != chunk {
-			if chunk >= 0 {
-				sum += partial
+		u := edges[i].U
+		if u != row {
+			if row >= 0 {
+				chunkPartial += rowPartial
 			}
-			partial, chunk = 0, c
+			rowPartial = 0
+			if c := int(u) / chunkNodes; c != chunk {
+				if chunk >= 0 {
+					sum += chunkPartial
+				}
+				chunkPartial, chunk = 0, c
+			}
+			row = u
 		}
-		partial += edges[i].Weight
+		rowPartial += edges[i].Weight
 	}
-	if chunk >= 0 {
-		sum += partial
+	if row >= 0 {
+		chunkPartial += rowPartial
+		sum += chunkPartial
 	}
 	return sum
 }

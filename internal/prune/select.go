@@ -72,6 +72,155 @@ func (h *selHist) reset() {
 	}
 }
 
+// CountCutHist runs one counting pass of the histogram selection over
+// the graph's canonical entries: every canonical weight key matching the
+// candidate prefix (key>>(shift+16) == prefix) is counted into its
+// 16-bit bucket, tracking per-bucket key min/max. The returned slices
+// are the merged histogram of all workers (length 2^16 each); counts
+// and min/max merge commutatively across workers — and across shards of
+// a partitioned server, whose owned-rows graphs partition the canonical
+// entries, which is why element-wise merging per-shard histograms in
+// any order reproduces the whole-graph histogram exactly.
+func CountCutHist(ctx context.Context, g *graph.CSR, workers int, prefix uint64, shift uint) (counts []int64, kmin, kmax []uint64, err error) {
+	nch := numChunks(g.NumProfiles)
+	nw := pruneWorkerCount(workers, nch)
+	hists := make([]*selHist, nw)
+	for i := range hists {
+		hists[i] = &selHist{}
+		hists[i].reset()
+	}
+	// hists[w.id] belongs to its goroutine alone; the merge below is
+	// commutative, so the racy chunk assignment cannot influence the
+	// outcome.
+	err = runChunks(ctx, workers, nch, func(w *pruneWorker, chunk int) error {
+		h := hists[w.id]
+		return forChunkCanonical(g, w, chunk, func(_, _ int32, p int64) {
+			key := weightKey(g.Weights[p])
+			if key>>(shift+selBucketBits) != prefix {
+				return
+			}
+			b := (key >> shift) & selBucketMask
+			h.counts[b]++
+			if key < h.kmin[b] {
+				h.kmin[b] = key
+			}
+			if key > h.kmax[b] {
+				h.kmax[b] = key
+			}
+		})
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	merged := hists[0]
+	for _, h := range hists[1:] {
+		MergeCutHist(merged.counts[:], merged.kmin[:], merged.kmax[:],
+			h.counts[:], h.kmin[:], h.kmax[:])
+	}
+	return merged.counts[:], merged.kmin[:], merged.kmax[:], nil
+}
+
+// MergeCutHist folds one counting histogram into another in place:
+// counts add, key minima/maxima tighten. The merge is commutative and
+// associative, so any fold order — worker order, shard order — yields
+// the identical merged histogram.
+func MergeCutHist(counts []int64, kmin, kmax []uint64, ocounts []int64, okmin, okmax []uint64) {
+	for b := range counts {
+		if ocounts[b] == 0 {
+			continue
+		}
+		counts[b] += ocounts[b]
+		if okmin[b] < kmin[b] {
+			kmin[b] = okmin[b]
+		}
+		if okmax[b] > kmax[b] {
+			kmax[b] = okmax[b]
+		}
+	}
+}
+
+// NewCutHist returns an empty counting histogram (counts zero, minima
+// saturated high, maxima low) ready to be a MergeCutHist accumulator.
+func NewCutHist() (counts []int64, kmin, kmax []uint64) {
+	h := &selHist{}
+	h.reset()
+	return h.counts[:], h.kmin[:], h.kmax[:]
+}
+
+// CutScan is the refinement state of the histogram selection: it
+// consumes one merged counting histogram per Step and narrows the
+// candidate prefix until the bucket holding the k-th largest key is a
+// single distinct key. It carries no graph state, so a partitioned
+// server drives the identical scan from shard-merged histograms: each
+// round, every shard counts its owned rows at the scan's Prefix/Shift,
+// the histograms merge in shard order, and one Step advances the scan —
+// at most four rounds, exactly like the local selectCut.
+type CutScan struct {
+	rank    int64  // rank of the cut within the candidate set, from the top
+	above   int64  // resolved count of keys strictly above the candidates
+	prefix  uint64 // candidates satisfy key>>(shift+16) == prefix
+	shift   uint
+	done    bool
+	cut     float64
+	greater int
+	ties    int
+}
+
+// NewCutScan starts a scan for the k-th largest canonical weight
+// (callers guarantee 1 <= k <= the number of canonical edges).
+func NewCutScan(k int) *CutScan {
+	return &CutScan{rank: int64(k), shift: 48}
+}
+
+// Shift returns the bucket shift of the next counting pass.
+func (cs *CutScan) Shift() uint { return cs.shift }
+
+// Prefix returns the candidate prefix of the next counting pass.
+func (cs *CutScan) Prefix() uint64 { return cs.prefix }
+
+// Step consumes the merged histogram of one counting pass at the scan's
+// current Prefix/Shift and either resolves the cut (returning true —
+// read it with Cut) or narrows the prefix for the next pass.
+func (cs *CutScan) Step(counts []int64, kmin, kmax []uint64) bool {
+	// Find the bucket holding the rank-th largest candidate key.
+	cum := int64(0)
+	b := selBuckets - 1
+	for ; b > 0; b-- {
+		if c := counts[b]; c > 0 {
+			cum += c
+			if cum >= cs.rank {
+				break
+			}
+		}
+	}
+	if b == 0 {
+		cum += counts[0]
+	}
+	cs.above += cum - counts[b]
+	cs.rank -= cum - counts[b]
+	if kmin[b] == kmax[b] || cs.shift == 0 {
+		// Every remaining candidate in the cut bucket carries the same
+		// key (always true at shift 0, where a bucket is one exact
+		// key): it is the cut, nothing inside it ties above, and the
+		// bucket's population is the global tie count.
+		cs.done = true
+		cs.cut = keyWeight(kmin[b])
+		cs.greater = int(cs.above)
+		cs.ties = int(counts[b])
+		return true
+	}
+	cs.prefix = cs.prefix<<selBucketBits | uint64(b)
+	cs.shift -= selBucketBits
+	return false
+}
+
+// Cut returns the resolved cut weight, the count of canonical edges
+// strictly above it, and the count tying exactly at it. Valid once Step
+// has returned true.
+func (cs *CutScan) Cut() (cut float64, greater, ties int) {
+	return cs.cut, cs.greater, cs.ties
+}
+
 // selectCut returns the k-th largest canonical edge weight of the graph
 // (callers guarantee 1 <= k <= NumEdges), the number of edges whose
 // weight is strictly greater — exactly the cut and `greater` the
@@ -81,81 +230,15 @@ func (h *selHist) reset() {
 // caller uses it to skip tie-ordinal accounting when every tie or no
 // tie fits the budget).
 func selectCut(ctx context.Context, g *graph.CSR, workers, k int) (cut float64, greater, ties int, err error) {
-	nch := numChunks(g.NumProfiles)
-	nw := pruneWorkerCount(workers, nch)
-	hists := make([]*selHist, nw)
-	for i := range hists {
-		hists[i] = &selHist{}
-	}
-
-	rank := int64(k) // rank of the cut within the candidate set, from the top
-	above := int64(0)
-	prefix := uint64(0) // candidates satisfy key>>(shift+16) == prefix
-	for shift := uint(48); ; shift -= selBucketBits {
-		for _, h := range hists {
-			h.reset()
-		}
-		// One counting pass over the candidate keys. hists[w.id] belongs
-		// to its goroutine alone; the merge below is commutative, so the
-		// racy chunk assignment cannot influence the outcome.
-		err := runChunks(ctx, workers, nch, func(w *pruneWorker, chunk int) error {
-			h := hists[w.id]
-			return forChunkCanonical(g, w, chunk, func(_, _ int32, p int64) {
-				key := weightKey(g.Weights[p])
-				if key>>(shift+selBucketBits) != prefix {
-					return
-				}
-				b := (key >> shift) & selBucketMask
-				h.counts[b]++
-				if key < h.kmin[b] {
-					h.kmin[b] = key
-				}
-				if key > h.kmax[b] {
-					h.kmax[b] = key
-				}
-			})
-		})
+	cs := NewCutScan(k)
+	for {
+		counts, kmin, kmax, err := CountCutHist(ctx, g, workers, cs.Prefix(), cs.Shift())
 		if err != nil {
 			return 0, 0, 0, err
 		}
-		merged := hists[0]
-		for _, h := range hists[1:] {
-			for b := 0; b < selBuckets; b++ {
-				if h.counts[b] == 0 {
-					continue
-				}
-				merged.counts[b] += h.counts[b]
-				if h.kmin[b] < merged.kmin[b] {
-					merged.kmin[b] = h.kmin[b]
-				}
-				if h.kmax[b] > merged.kmax[b] {
-					merged.kmax[b] = h.kmax[b]
-				}
-			}
+		if cs.Step(counts, kmin, kmax) {
+			cut, greater, ties = cs.Cut()
+			return cut, greater, ties, nil
 		}
-		// Find the bucket holding the rank-th largest candidate key.
-		cum := int64(0)
-		b := selBuckets - 1
-		for ; b > 0; b-- {
-			if c := merged.counts[b]; c > 0 {
-				cum += c
-				if cum >= rank {
-					break
-				}
-			}
-		}
-		if b == 0 {
-			cum += merged.counts[0]
-		}
-		above += cum - merged.counts[b]
-		rank -= cum - merged.counts[b]
-		if merged.kmin[b] == merged.kmax[b] || shift == 0 {
-			// Every remaining candidate in the cut bucket carries the same
-			// key (always true at shift 0, where a bucket is one exact
-			// key): it is the cut, nothing inside it ties above, and the
-			// bucket's population is the global tie count.
-			return keyWeight(merged.kmin[b]), int(above), int(merged.counts[b]), nil
-		}
-		prefix = prefix<<selBucketBits | uint64(b)
 	}
 }

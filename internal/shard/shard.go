@@ -48,6 +48,13 @@ type Options struct {
 	// error is sticky: readers keep the (already swapped) snapshot, but
 	// the shard reports the failure like an apply error.
 	Persist func(*Snapshot) error
+	// OnFail, when non-nil, is invoked exactly once, from the worker
+	// goroutine and outside the shard lock, at the moment the shard's
+	// sticky error is first set. It is the failure hook of partitioned
+	// serving: a dead partitioned shard can never again contribute its
+	// exchange frames, so the hook poisons the aggregate exchange and the
+	// sibling exports fail instead of waiting forever.
+	OnFail func(error)
 }
 
 // Stats is a point-in-time summary of one shard.
@@ -71,6 +78,14 @@ type Stats struct {
 	// ApplyTime is the cumulative wall-clock time spent applying insert
 	// batches (excluding snapshot export).
 	ApplyTime time.Duration
+	// OwnedRows is the number of profile rows resident in the published
+	// snapshot: every row on a replicated shard, only the hash-owned ones
+	// on a partitioned shard.
+	OwnedRows int
+	// ResidentBytes approximates the heap footprint of the published
+	// snapshot's arrays — the per-shard memory the partitioned topology
+	// divides across shards.
+	ResidentBytes int64
 }
 
 // ErrClosed is returned by operations on a shard (or server) that has
@@ -152,14 +167,16 @@ func (s *Shard) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		ID:        s.id,
-		Epoch:     snap.Epoch,
-		Published: snap.NumProfiles,
-		Applied:   s.applied,
-		Batches:   s.batches,
-		Swaps:     s.swaps,
-		Queued:    len(s.queue),
-		ApplyTime: s.applyTime,
+		ID:            s.id,
+		Epoch:         snap.Epoch,
+		Published:     snap.NumProfiles,
+		Applied:       s.applied,
+		Batches:       s.batches,
+		Swaps:         s.swaps,
+		Queued:        len(s.queue),
+		ApplyTime:     s.applyTime,
+		OwnedRows:     snap.OwnedRows(),
+		ResidentBytes: snap.ResidentBytes(),
 	}
 }
 
@@ -192,21 +209,35 @@ func (s *Shard) Enqueue(profiles []model.Profile) error {
 // context cancellation the barrier itself still completes eventually;
 // only the wait is abandoned.
 func (s *Shard) Barrier(ctx context.Context) error {
-	done := make(chan error, 1)
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return ErrClosed
+	done, err := s.BarrierStart()
+	if err != nil {
+		return err
 	}
-	s.queue = append(s.queue, op{barrier: done})
-	s.cond.Signal()
-	s.mu.Unlock()
 	select {
 	case err := <-done:
 		return err
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// BarrierStart enqueues a publication barrier without waiting and
+// returns its completion channel (buffered; the worker's send never
+// blocks). Splitting enqueue from wait lets a server place barriers on
+// ALL of its shards atomically under its own admission lock — the only
+// way partitioned shards are guaranteed to export at the same position
+// of the insert stream, which their aggregate exchange requires — and
+// then wait outside the lock.
+func (s *Shard) BarrierStart() (<-chan error, error) {
+	done := make(chan error, 1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	s.queue = append(s.queue, op{barrier: done})
+	s.cond.Signal()
+	return done, nil
 }
 
 // Close stops the worker after draining every operation already in the
@@ -285,15 +316,12 @@ func (s *Shard) apply(profiles []model.Profile) {
 	s.mu.Lock()
 	s.applied += int64(len(profiles))
 	s.applyTime += dt
-	if err != nil && s.err == nil {
-		s.err = fmt.Errorf("shard %d: apply: %w", s.id, err)
-	}
-	failed := s.err != nil
-	if !failed {
+	if err == nil && s.err == nil {
 		s.batches++
 	}
 	s.mu.Unlock()
-	if failed {
+	if err != nil {
+		s.setErr(fmt.Errorf("shard %d: apply: %w", s.id, err))
 		return
 	}
 	s.sinceSwap += len(profiles)
@@ -334,13 +362,7 @@ func (s *Shard) publishIfBehind() error {
 func (s *Shard) publish() error {
 	snap, err := s.w.Export(context.Background())
 	if err != nil {
-		s.mu.Lock()
-		if s.err == nil {
-			s.err = fmt.Errorf("shard %d: export: %w", s.id, err)
-		}
-		err = s.err
-		s.mu.Unlock()
-		return err
+		return s.setErr(fmt.Errorf("shard %d: export: %w", s.id, err))
 	}
 	//blast:allow snapshotmut -- tagging a freshly exported snapshot the writer just handed over; it becomes immutable at the Store below and no reader sees it before then
 	snap.Epoch = s.snap.Load().Epoch + 1
@@ -355,16 +377,28 @@ func (s *Shard) publish() error {
 	s.mu.Unlock()
 	if s.opt.Persist != nil {
 		if err := s.opt.Persist(snap); err != nil {
-			s.mu.Lock()
-			if s.err == nil {
-				s.err = fmt.Errorf("shard %d: persist: %w", s.id, err)
-			}
-			err = s.err
-			s.mu.Unlock()
-			return err
+			return s.setErr(fmt.Errorf("shard %d: persist: %w", s.id, err))
 		}
 	}
 	return nil
+}
+
+// setErr records the worker's first (sticky) error and fires the OnFail
+// hook exactly once, outside the lock; later calls return the original
+// error unchanged. Only the worker goroutine calls it, so "first" is
+// also "only" within one shard.
+func (s *Shard) setErr(err error) error {
+	s.mu.Lock()
+	first := s.err == nil
+	if first {
+		s.err = err
+	}
+	err = s.err
+	s.mu.Unlock()
+	if first && s.opt.OnFail != nil {
+		s.opt.OnFail(err)
+	}
+	return err
 }
 
 // telemetryNow reads the wall clock for apply-timing telemetry

@@ -93,6 +93,93 @@ type Snapshot struct {
 	// Theta holds the node-local pruning threshold theta_i per profile;
 	// nil for pruning schemes without per-node thresholds.
 	Theta []float64
+	// PartShards is the shard count of a partitioned snapshot: one whose
+	// adjacency runs are populated only for the rows Owner hashes onto
+	// PartShard, every other row being an empty run. 0 (the zero value)
+	// marks a full replica — every row resident. NumProfiles, NumEdges
+	// and RetainedPairs stay GLOBAL under partitioning: a partitioned
+	// snapshot answers point reads for its owned rows with whole-graph
+	// semantics, its owners having resolved the cross-shard aggregates at
+	// export time.
+	PartShards int
+	// PartShard is this snapshot's shard index in [0, PartShards); 0 for
+	// a full replica.
+	PartShard int
+}
+
+// Owns reports whether a profile's row is resident in this snapshot:
+// always, for a full replica; by ownership hash, for a partitioned one.
+func (s *Snapshot) Owns(profile int32) bool {
+	return s.PartShards == 0 || Owner(profile, s.PartShards) == s.PartShard
+}
+
+// OwnedRows counts the resident rows: NumProfiles for a full replica,
+// the hash-owned subset for a partitioned snapshot.
+func (s *Snapshot) OwnedRows() int {
+	if s.PartShards == 0 {
+		return s.NumProfiles
+	}
+	n := 0
+	for u := 0; u < s.NumProfiles; u++ {
+		if Owner(int32(u), s.PartShards) == s.PartShard {
+			n++
+		}
+	}
+	return n
+}
+
+// ResidentBytes approximates the heap footprint of the snapshot's
+// arrays — the quantity the partitioned topology divides across shards
+// (Offsets and Theta stay full-length; the entry arrays shrink with
+// ownership).
+func (s *Snapshot) ResidentBytes() int64 {
+	return int64(len(s.Offsets))*8 + int64(len(s.Neighbors))*4 +
+		int64(len(s.Weights))*8 + int64(len(s.Retained)) + int64(len(s.Theta))*8
+}
+
+// SliceOwned carves shard part's partitioned snapshot out of a full
+// replica snapshot: full-length Offsets with runs copied only for the
+// owned rows, global header counters carried over, Theta shared (it is
+// full-length and immutable under both topologies). It is how a
+// partitioned server derives its shards' initial snapshots from the
+// master build — each slice is byte-identical, row for owned row, to
+// what the shard's own exchange-driven export would produce over the
+// same collection.
+func SliceOwned(s *Snapshot, part, nparts int) *Snapshot {
+	offsets := make([]int64, s.NumProfiles+1)
+	total := int64(0)
+	for u := 0; u < s.NumProfiles; u++ {
+		if Owner(int32(u), nparts) == part {
+			total += s.Offsets[u+1] - s.Offsets[u]
+		}
+		offsets[u+1] = total
+	}
+	neighbors := make([]int32, 0, total)
+	weights := make([]float64, 0, total)
+	retained := make([]bool, 0, total)
+	for u := 0; u < s.NumProfiles; u++ {
+		if Owner(int32(u), nparts) != part {
+			continue
+		}
+		lo, hi := s.Offsets[u], s.Offsets[u+1]
+		neighbors = append(neighbors, s.Neighbors[lo:hi]...)
+		weights = append(weights, s.Weights[lo:hi]...)
+		retained = append(retained, s.Retained[lo:hi]...)
+	}
+	return &Snapshot{
+		Epoch:         s.Epoch,
+		Batches:       s.Batches,
+		NumProfiles:   s.NumProfiles,
+		NumEdges:      s.NumEdges,
+		RetainedPairs: s.RetainedPairs,
+		Offsets:       offsets,
+		Neighbors:     neighbors,
+		Weights:       weights,
+		Retained:      retained,
+		Theta:         s.Theta,
+		PartShards:    nparts,
+		PartShard:     part,
+	}
 }
 
 // Threshold returns theta_i for the threshold-based pruning schemes; 0
@@ -125,16 +212,20 @@ func (s *Snapshot) AppendCandidates(buf []Candidate, profile int) []Candidate {
 }
 
 // snapshotCancelCheckEvery is the row granularity at which the pair
-// enumeration polls for cancellation.
-const snapshotCancelCheckEvery = 1024
+// enumeration polls for cancellation; snapshotCancelCheckEdges bounds
+// the entries scanned between polls inside one long row.
+const (
+	snapshotCancelCheckEvery = 1024
+	snapshotCancelCheckEdges = 8192
+)
 
 // AppendOwnedPairs appends every retained canonical pair (u < v) whose
 // smaller endpoint u the caller owns, in ascending (u, v) order — the
 // canonical pair order of the batch pipeline restricted to owned rows.
 // Partitioning pair emission by the owner of u makes the per-shard
 // streams disjoint, so merging them restores exactly the global
-// canonical pair list. Polls ctx at row-chunk granularity; on
-// cancellation the partial result is discarded.
+// canonical pair list. Polls ctx at row-chunk and edge-segment
+// granularity; on cancellation the partial result is discarded.
 func (s *Snapshot) AppendOwnedPairs(ctx context.Context, dst []model.IDPair, owns func(profile int32) bool) ([]model.IDPair, error) {
 	for u := 0; u < s.NumProfiles; u++ {
 		if u%snapshotCancelCheckEvery == 0 {
@@ -146,9 +237,18 @@ func (s *Snapshot) AppendOwnedPairs(ctx context.Context, dst []model.IDPair, own
 			continue
 		}
 		end := s.Offsets[u+1]
-		for p := s.Offsets[u]; p < end; p++ {
-			if v := s.Neighbors[p]; int(v) > u && s.Retained[p] {
-				dst = append(dst, model.IDPair{U: int32(u), V: v})
+		for p := s.Offsets[u]; p < end; {
+			seg := end - p
+			if seg > snapshotCancelCheckEdges {
+				seg = snapshotCancelCheckEdges
+			}
+			for stop := p + seg; p < stop; p++ {
+				if v := s.Neighbors[p]; int(v) > u && s.Retained[p] {
+					dst = append(dst, model.IDPair{U: int32(u), V: v})
+				}
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
 		}
 	}

@@ -1,0 +1,119 @@
+package wal
+
+import (
+	"testing"
+
+	"blast/internal/model"
+)
+
+func ownedTestBatch() []model.Profile {
+	return []model.Profile{
+		{ID: "a", Pairs: []model.Pair{{Name: "n", Value: "v"}}},
+		{ID: "b"},
+		{ID: "c", Pairs: []model.Pair{{Name: "x", Value: "y"}, {Name: "z", Value: ""}}},
+		{ID: "d"},
+	}
+}
+
+// TestOwnedBatchCodec round-trips owned subsets, including the empty
+// subset every non-owning shard journals to keep record counts aligned.
+func TestOwnedBatchCodec(t *testing.T) {
+	batch := ownedTestBatch()
+	cases := []struct {
+		name string
+		owns func(int) bool
+	}{
+		{"all", func(int) bool { return true }},
+		{"none", func(int) bool { return false }},
+		{"even", func(i int) bool { return i%2 == 0 }},
+		{"last", func(i int) bool { return i == len(batch)-1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			enc := AppendOwnedBatch(nil, batch, tc.owns)
+			blen, entries, err := DecodeOwnedBatch(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if blen != len(batch) {
+				t.Fatalf("batch length %d, want %d", blen, len(batch))
+			}
+			k := 0
+			for i := range batch {
+				if !tc.owns(i) {
+					continue
+				}
+				if k >= len(entries) || entries[k].Index != i || entries[k].Profile.ID != batch[i].ID ||
+					len(entries[k].Profile.Pairs) != len(batch[i].Pairs) {
+					t.Fatalf("entry %d does not round-trip position %d", k, i)
+				}
+				k++
+			}
+			if k != len(entries) {
+				t.Fatalf("decoded %d entries, want %d", len(entries), k)
+			}
+		})
+	}
+}
+
+// TestOwnedBatchCodecRejects pins the fail-closed decode rules.
+func TestOwnedBatchCodecRejects(t *testing.T) {
+	batch := ownedTestBatch()
+	valid := AppendOwnedBatch(nil, batch, func(int) bool { return true })
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"count-over-length", []byte{1, 2}},
+		{"truncated", valid[:len(valid)-2]},
+		{"trailing", append(append([]byte{}, valid...), 0)},
+		// batchLen 2, 1 entry, index 5 (out of batch).
+		{"index-out-of-range", append([]byte{2, 1, 5}, valid[3:]...)},
+		// batchLen 2, 2 entries both at index 0 (out of order).
+		{"duplicate-index", []byte{2, 2, 0, 1, 'a', 0, 0, 1, 'b', 0}},
+		// batchLen 200, 100 claimed entries, one byte of payload.
+		{"overclaimed-entries", []byte{0xC8, 0x01, 100, 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := DecodeOwnedBatch(tc.data); err == nil {
+				t.Fatalf("corrupt owned batch %q decoded", tc.data)
+			}
+		})
+	}
+}
+
+// FuzzOwnedBatchCodec: DecodeOwnedBatch must never panic, and whatever
+// decodes must re-encode to a decodable equal subset.
+func FuzzOwnedBatchCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendOwnedBatch(nil, nil, func(int) bool { return true }))
+	f.Add(AppendOwnedBatch(nil, ownedTestBatch(), func(i int) bool { return i != 1 }))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		blen, entries, err := DecodeOwnedBatch(data)
+		if err != nil {
+			return
+		}
+		// Re-encode through a batch holding the entries at their indices.
+		batch := make([]model.Profile, blen)
+		owned := make([]bool, blen)
+		for _, e := range entries {
+			batch[e.Index] = e.Profile
+			owned[e.Index] = true
+		}
+		enc := AppendOwnedBatch(nil, batch, func(i int) bool { return owned[i] })
+		blen2, again, err := DecodeOwnedBatch(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if blen2 != blen || len(again) != len(entries) {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d", blen, len(entries), blen2, len(again))
+		}
+		for i := range entries {
+			if again[i].Index != entries[i].Index || again[i].Profile.ID != entries[i].Profile.ID {
+				t.Fatalf("round trip changed entry %d", i)
+			}
+		}
+	})
+}

@@ -195,6 +195,33 @@ func (s Scheme) ApplyCSR(g *graph.CSR) {
 	})
 }
 
+// ApplyOwnedCSR computes the weight of every adjacency entry of an
+// owned-rows CSR (graph.BuildOwnedCSR) in place. g carries full-length
+// Offsets but adjacency runs only for the rows one shard owns, so
+// neighbor degrees are not derivable locally: degrees is the global
+// per-node degree vector and numEdges the global edge count, both
+// resolved by the cross-shard aggregate exchange. Every entry is
+// weighted with its arguments in canonical (u < v) orientation — the
+// same orientation ApplyCSR uses before mirroring — so an edge's two
+// entries, weighted independently on two shards, carry bit-identical
+// values.
+func (s Scheme) ApplyOwnedCSR(g *graph.CSR, degrees []int32, numEdges int) {
+	w := s.Weigher(numEdges, g.TotalBlocks)
+	for u := 0; u < g.NumProfiles; u++ {
+		for p := g.Offsets[u]; p < g.Offsets[u+1]; p++ {
+			v := g.Neighbors[p]
+			lo, hi := int32(u), v
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			g.Weights[p] = w.Weight(g.Common[p],
+				g.BlockCounts[lo], g.BlockCounts[hi],
+				degrees[lo], degrees[hi],
+				g.ARCS[p], g.EntropySum[p])
+		}
+	}
+}
+
 // safeLog returns log(x) clamped to 0 for x <= 1, keeping the
 // ECBS/EJS discount factors non-negative on degenerate inputs (profiles
 // appearing in every block, nodes adjacent to every edge).

@@ -54,14 +54,24 @@ func (w indexWriter) OverlayStats() (int, float64) {
 }
 
 // Server serves candidate queries from hash-sharded snapshot-swap
-// replicas while absorbing streamed profile inserts. Construct with
+// shards while absorbing streamed profile inserts. Construct with
 // Pipeline.Serve or Pipeline.ServeBlocks; always Close a server when
 // done (Close stops the shard workers; reads stay valid afterwards).
 // All methods are safe for concurrent use.
+//
+// The shard state behind the API is selected by ServerOptions.Topology:
+// replicated shards each hold a full writable Index (any shard can
+// answer for any profile), partitioned shards each own only their rows'
+// adjacency and resolve graph-global pruning state through the
+// aggregate exchange (see partition.go). The read API and consistency
+// contract are identical under both.
 type Server struct {
 	kind     model.Kind
+	topology Topology
 	shards   []*shard.Shard
-	replicas []*Index
+	replicas []*Index         // replicated topology; nil when partitioned
+	parts    []*partIndex     // partitioned topology; nil when replicated
+	schema   *Schema          // partitioned only (replicas carry their own)
 	dur      *durability      // nil unless ServerOptions.Dir was set
 	pers     []*snapPersister // per-shard, nil entries where persistence is off
 
@@ -110,6 +120,9 @@ func (p *Pipeline) ServeBlocks(ctx context.Context, blocks *Blocks, sopt ServerO
 	if sopt.Dir != "" {
 		return p.serveDurable(ctx, blocks, sopt)
 	}
+	if sopt.Topology == TopologyPartitioned {
+		return p.servePartitioned(ctx, blocks, sopt)
+	}
 	master, err := p.indexBlocks(ctx, blocks, true)
 	if err != nil {
 		return nil, err
@@ -138,6 +151,48 @@ func (p *Pipeline) ServeBlocks(ctx context.Context, blocks *Blocks, sopt ServerO
 	return srv, nil
 }
 
+// servePartitioned starts the partitioned topology over a Blocks
+// artifact: one full master build (discarded after its snapshot is
+// sliced), then one partIndex per shard holding a clone of the block
+// collection and an owned-rows slice of the build as its initial
+// snapshot. The shards share one aggregate Exchange; a failing shard
+// poisons it, failing its peers' exports too — under partitioning no
+// healthy subset of shards can serve (each shard's rows exist nowhere
+// else), so the server surfaces the failure instead of degrading.
+func (p *Pipeline) servePartitioned(ctx context.Context, blocks *Blocks, sopt ServerOptions) (*Server, error) {
+	master, err := p.indexBlocks(ctx, blocks, false)
+	if err != nil {
+		return nil, err
+	}
+	full, err := master.exportSnapshot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	n := sopt.shards()
+	shOpt := p.shardOptions(sopt)
+	// The overlay-fraction swap trigger consults per-shard overlay load,
+	// which could fire shards' publishes at different stream positions;
+	// partitioned exports must stay position-aligned (they exchange
+	// aggregates), so only the deterministic SwapOps cadence may trigger.
+	shOpt.MaxOverlayFraction = 0
+	ex := shard.NewExchange(n)
+	shOpt.OnFail = func(err error) { ex.Poison(err) }
+	srv := &Server{
+		kind:     master.Kind(),
+		topology: TopologyPartitioned,
+		shards:   make([]*shard.Shard, n),
+		parts:    make([]*partIndex, n),
+		schema:   blocks.Schema,
+		nextID:   master.NumProfiles(),
+	}
+	for i := 0; i < n; i++ {
+		px := newPartIndex(blocks.Collection.Clone(), blocks.Schema, p.opt, i, n, ex)
+		srv.parts[i] = px
+		srv.shards[i] = shard.New(i, px, shard.SliceOwned(full, i, n), shOpt)
+	}
+	return srv, nil
+}
+
 // shardOptions derives the shard worker knobs shared by the in-memory
 // and durable construction paths: the pipeline's Compaction settings
 // drive the shard-level swap trigger, with replica auto-compaction
@@ -159,6 +214,9 @@ func (s *Server) NumShards() int { return len(s.shards) }
 
 // Kind returns the ER setting of the served dataset.
 func (s *Server) Kind() model.Kind { return s.kind }
+
+// Topology returns the shard topology the server was started with.
+func (s *Server) Topology() Topology { return s.topology }
 
 // Admitted returns the number of profiles the server has accepted:
 // the build's profiles plus every insert admitted so far, whether or
@@ -365,7 +423,7 @@ func (s *Server) consistentSnapshots(ctx context.Context) ([]*shard.Snapshot, er
 	}
 	// No admissions can interleave while we hold the lock, so after the
 	// barriers every shard has published the full admitted sequence.
-	if err := s.barrierAll(ctx); err != nil {
+	if err := s.barrierAllLocked(ctx); err != nil {
 		return nil, err
 	}
 	if snaps, ok := capture(); ok {
@@ -419,33 +477,131 @@ func (s *Server) Pairs(ctx context.Context) ([]model.IDPair, error) {
 	return shard.MergePairs(parts), nil
 }
 
+// A View is an epoch-consistent read handle over the server: one
+// published snapshot per shard, all captured at the same position of
+// the global insert sequence, pinned for the view's lifetime. Where the
+// Server's own point reads each load the owner's CURRENT snapshot — so
+// two reads can observe different states — every read through one View
+// observes the single state identified by Batches. Views are immutable
+// and safe for concurrent use; holding one only pins memory (the
+// snapshots are retained from the garbage collector), never blocks
+// writers.
+type View struct {
+	snaps []*shard.Snapshot
+}
+
+// View captures an epoch-consistent read handle. It is served from
+// published snapshots when the shards already agree, and otherwise
+// barriers them (excluding concurrent admissions for the duration, like
+// Quiesce); ctx bounds that wait.
+func (s *Server) View(ctx context.Context) (*View, error) {
+	snaps, err := s.consistentSnapshots(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &View{snaps: snaps}, nil
+}
+
+// owner returns the snapshot holding a profile's rows.
+func (v *View) owner(profile int) *shard.Snapshot {
+	return v.snaps[shard.Owner(int32(profile), len(v.snaps))]
+}
+
+// Batches identifies the state every read of this view observes: its
+// position in the globally sequenced insert stream. Two views with
+// equal Batches over the same server observe identical state.
+func (v *View) Batches() int64 { return v.snaps[0].Batches }
+
+// NumProfiles returns the number of profiles the view covers.
+func (v *View) NumProfiles() int { return v.snaps[0].NumProfiles }
+
+// Candidates returns the retained candidate comparisons of one profile
+// at the view's state. Semantics match Server.Candidates.
+func (v *View) Candidates(profile int) []Candidate {
+	return v.AppendCandidates(make([]Candidate, 0, 4), profile)
+}
+
+// AppendCandidates appends the retained candidate comparisons of one
+// profile to buf at the view's state. Semantics match
+// Server.AppendCandidates.
+func (v *View) AppendCandidates(buf []Candidate, profile int) []Candidate {
+	if profile < 0 {
+		return buf
+	}
+	return v.owner(profile).AppendCandidates(buf, profile)
+}
+
+// Threshold returns theta_i of a profile at the view's state. Semantics
+// match Server.Threshold.
+func (v *View) Threshold(profile int) float64 {
+	if profile < 0 {
+		return 0
+	}
+	return v.owner(profile).Threshold(profile)
+}
+
+// Epoch returns the publication epoch of the snapshot serving a
+// profile's reads in this view. Unlike Batches it is a per-shard
+// counter: two profiles of one view may report different epochs, but
+// both observe the same state.
+func (v *View) Epoch(profile int) uint64 {
+	if profile < 0 {
+		return 0
+	}
+	return v.owner(profile).Epoch
+}
+
 // Quiesce drives every shard to the strongest consistent state: all
 // admitted batches applied, overlays compacted, snapshots swapped. When
 // it returns nil, every read (on any shard) observes every insert
-// admitted before the call. Barriers run on all shards concurrently;
-// ctx bounds only the wait. On a closed server Quiesce reports
-// shard.ErrClosed (Close already established the drained state).
+// admitted before the call. Barriers are placed on all shards at one
+// position of the insert sequence and awaited concurrently; ctx bounds
+// only the wait. On a closed server Quiesce reports shard.ErrClosed
+// (Close already established the drained state).
 func (s *Server) Quiesce(ctx context.Context) error {
 	s.mu.Lock()
-	closed := s.closed
-	s.mu.Unlock()
-	if closed {
+	if s.closed {
+		s.mu.Unlock()
 		return shard.ErrClosed
 	}
-	return s.barrierAll(ctx)
+	err := s.barrierAllLocked(ctx)
+	s.mu.Unlock()
+	return err
 }
 
-// barrierAll barriers every shard concurrently and reports the most
-// meaningful failure (see firstError).
-func (s *Server) barrierAll(ctx context.Context) error {
-	errs := make([]error, len(s.shards))
-	var wg sync.WaitGroup
+// barrierAllLocked enqueues a barrier on every shard and awaits them
+// all, reporting the most meaningful failure (see firstError). The
+// caller must hold s.mu across the call: holding the admission lock
+// through the enqueue phase places every shard's barrier at the SAME
+// position of the global insert sequence — the partitioned topology
+// depends on it (barrier-forced exports run the aggregate exchange, so
+// all shards must export the same collection state), and it is what
+// makes the post-barrier captures of consistentSnapshots land on one
+// cursor. The waits necessarily also run under the lock; barriers are
+// bounded by shard progress, not by future admissions, so this cannot
+// deadlock.
+func (s *Server) barrierAllLocked(ctx context.Context) error {
+	n := len(s.shards)
+	errs := make([]error, n)
+	waits := make([]<-chan error, n)
 	for i, sh := range s.shards {
+		waits[i], errs[i] = sh.BarrierStart()
+	}
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		if errs[i] != nil || waits[i] == nil {
+			continue
+		}
 		wg.Add(1)
-		go func(i int, sh *shard.Shard) {
+		go func(i int) {
 			defer wg.Done()
-			errs[i] = sh.Barrier(ctx)
-		}(i, sh)
+			select {
+			case err := <-waits[i]:
+				errs[i] = err
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+			}
+		}(i)
 	}
 	wg.Wait()
 	return firstError(errs)
@@ -469,16 +625,25 @@ func firstError(errs []error) error {
 	return closed
 }
 
-// Blocks returns the live block collection of the first replica — on a
-// quiesced server, the union collection every replica agrees on. The
-// returned collection must not be modified.
+// Blocks returns the live block collection of the first shard — on a
+// quiesced server, the union collection every shard agrees on. The
+// returned collection must not be modified. On a partitioned server
+// call only after Quiesce (or Close): partitioned writers append to
+// their collections without a read lock, so the caller must not race
+// in-flight batches.
 func (s *Server) Blocks() *blocking.Collection {
+	if s.parts != nil {
+		return s.parts[0].app.Collection()
+	}
 	return s.replicas[0].Blocks()
 }
 
 // Schema returns the Phase 1 artifact the server's indexes were blocked
 // under (nil for a schema-agnostic run).
 func (s *Server) Schema() *Schema {
+	if s.parts != nil {
+		return s.schema
+	}
 	return s.replicas[0].Schema()
 }
 
