@@ -41,6 +41,7 @@ import (
 
 	"blast/internal/attr"
 	"blast/internal/blocking"
+	"blast/internal/graph"
 	"blast/internal/metablocking"
 	"blast/internal/metrics"
 	"blast/internal/model"
@@ -112,6 +113,58 @@ func (c Compaction) minEntries() int {
 
 // disabled reports whether automatic compaction is switched off.
 func (c Compaction) disabled() bool { return c.MaxOverlayFraction < 0 }
+
+// Storage selects where the blocking graph's adjacency entries live
+// while a run or index build is in flight.
+type Storage int
+
+const (
+	// StorageMemory (the zero value) keeps the full CSR adjacency
+	// resident in RAM — the original behavior and the right choice
+	// whenever the graph fits.
+	StorageMemory Storage = iota
+	// StorageFile spills the adjacency to CRC-checked segment files once
+	// the build's resident footprint exceeds Options.MemoryBudget,
+	// serving subsequent passes through a bounded page cache. Retained
+	// pairs and served candidates are byte-identical to StorageMemory;
+	// only peak memory (and speed) differ. Requires the NodeCentric
+	// engine — the edge-list engine materializes every edge by design.
+	StorageFile
+)
+
+// String implements fmt.Stringer.
+func (s Storage) String() string {
+	switch s {
+	case StorageMemory:
+		return "memory"
+	case StorageFile:
+		return "file"
+	default:
+		return fmt.Sprintf("Storage(%d)", int(s))
+	}
+}
+
+// ParseStorage maps a storage name ("memory", "file" — the String()
+// forms) back to the enum value, mirroring ParseTopology.
+func ParseStorage(s string) (Storage, error) {
+	for _, st := range []Storage{StorageMemory, StorageFile} {
+		if s == st.String() {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("blast: unknown storage %q: valid names are %q and %q",
+		s, StorageMemory, StorageFile)
+}
+
+// Validate rejects unknown storage values with a descriptive error.
+func (s Storage) Validate() error {
+	switch s {
+	case StorageMemory, StorageFile:
+		return nil
+	default:
+		return fmt.Errorf("blast: unknown %v: valid storages are StorageMemory (0, resident adjacency) and StorageFile (1, spill past MemoryBudget)", s)
+	}
+}
 
 // Topology selects how a Server's shards divide the index state.
 type Topology int
@@ -371,6 +424,28 @@ type Options struct {
 	// baseline always builds its graph serially).
 	Workers int
 
+	// Storage selects where the blocking graph's adjacency lives during
+	// meta-blocking and index builds: StorageMemory (default) keeps it
+	// resident, StorageFile spills it to segment files past MemoryBudget
+	// and serves passes through a bounded page cache. Byte-identical
+	// output either way. StorageFile requires the NodeCentric engine and
+	// does not apply to Supervised runs.
+	Storage Storage
+	// MemoryBudget bounds (in bytes) the resident footprint of the
+	// adjacency entries a StorageFile build may accumulate before
+	// spilling: <= 0 spills from the first entry, and a budget larger
+	// than the graph never spills at all (the build simply stays
+	// resident). The budget covers the adjacency entry streams only —
+	// offsets, block counts and the fixed pipeline state are O(profiles)
+	// and excluded. Ignored under StorageMemory.
+	MemoryBudget int64
+	// SpillDir is the directory StorageFile segment files are created
+	// under (a fresh subdirectory per build, removed when the graph is
+	// closed). Empty selects the OS temp dir — or, on a durable Server,
+	// a "spill" directory next to the WAL so segments live on the same
+	// filesystem as the rest of the state. Ignored under StorageMemory.
+	SpillDir string
+
 	// Compaction tunes the overlay-compaction policy of a mutable Index
 	// (see Index.Insert). The zero value selects the defaults; it is
 	// ignored by the batch pipeline.
@@ -435,6 +510,19 @@ func (o Options) Validate() error {
 	if o.Workers < 0 {
 		return fmt.Errorf("blast: Workers = %d must be >= 0 (0 selects one worker per CPU)", o.Workers)
 	}
+	if err := o.Storage.Validate(); err != nil {
+		return err
+	}
+	if o.Storage == StorageFile {
+		if o.Engine != metablocking.NodeCentric {
+			return fmt.Errorf("blast: StorageFile requires the NodeCentric engine: the edge-list engine materializes every edge in memory by design")
+		}
+		if o.Supervised {
+			return fmt.Errorf("blast: StorageFile does not apply to Supervised runs: the supervised baseline needs a resident per-edge feature matrix")
+		}
+	} else if o.MemoryBudget != 0 || o.SpillDir != "" {
+		return fmt.Errorf("blast: MemoryBudget/SpillDir = %d/%q without StorageFile: the spill knobs need file storage", o.MemoryBudget, o.SpillDir)
+	}
 	if math.IsNaN(o.Compaction.MaxOverlayFraction) || math.IsInf(o.Compaction.MaxOverlayFraction, 0) {
 		return fmt.Errorf("blast: Compaction.MaxOverlayFraction = %v must be finite (0 selects the default, negative disables)", o.Compaction.MaxOverlayFraction)
 	}
@@ -445,6 +533,21 @@ func (o Options) Validate() error {
 		return fmt.Errorf("blast: TrainFraction = %v outside (0, 1]: it is the fraction of ground-truth matches used for training", o.TrainFraction)
 	}
 	return nil
+}
+
+// spillOptions maps the public storage knobs onto the graph builder's
+// spill configuration, nil when storage is resident. dir, when
+// non-empty, overrides an unset SpillDir (the durable Server points it
+// next to the WAL).
+func (o *Options) spillOptions(dir string) *graph.SpillOptions {
+	if o.Storage != StorageFile {
+		return nil
+	}
+	d := o.SpillDir
+	if d == "" {
+		d = dir
+	}
+	return &graph.SpillOptions{Dir: d, MemoryBudget: o.MemoryBudget}
 }
 
 // progress reports a completed phase to the Progress observer, if any.

@@ -241,11 +241,12 @@ type QuiesceResponse struct {
 }
 
 // StatszResponse is the body of GET /statsz. Topology names the shard
-// topology; the per-shard entries carry the owned-rows and
-// resident-bytes counters that make the partitioned memory claim
-// observable per process.
+// topology and Storage the graph storage mode builds run under; the
+// per-shard entries carry the owned-rows and resident-bytes counters
+// that make the partitioned memory claim observable per process.
 type StatszResponse struct {
 	Topology  string        `json:"topology"`
+	Storage   string        `json:"storage"`
 	Admitted  int           `json:"admitted"`
 	Published int           `json:"published"`
 	Shards    []shard.Stats `json:"shards"`
@@ -504,6 +505,7 @@ func (h *Handler) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (h *Handler) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	h.writeValue(w, StatszResponse{
 		Topology:  h.srv.Topology().String(),
+		Storage:   h.srv.Storage().String(),
 		Admitted:  h.srv.Admitted(),
 		Published: h.srv.NumProfiles(),
 		Shards:    h.srv.Stats(),

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"blast"
+	"blast/internal/metablocking"
 	"blast/internal/model"
 	"blast/internal/stats"
 )
@@ -555,6 +556,9 @@ func TestStatszTopology(t *testing.T) {
 			if st.Topology != topo.String() {
 				t.Fatalf("statsz topology %q, want %q", st.Topology, topo)
 			}
+			if st.Storage != blast.StorageMemory.String() {
+				t.Fatalf("statsz storage %q, want %q", st.Storage, blast.StorageMemory)
+			}
 			if len(st.Shards) != 2 {
 				t.Fatalf("statsz reports %d shards", len(st.Shards))
 			}
@@ -573,5 +577,40 @@ func TestStatszTopology(t *testing.T) {
 				t.Fatalf("%v: owned rows sum to %d, want %d", topo, owned, want)
 			}
 		})
+	}
+}
+
+// TestStatszStorage: /statsz names the graph storage mode the server's
+// builds run under (configuration, not residency — spilled builds are
+// materialized at publish time).
+func TestStatszStorage(t *testing.T) {
+	opt := blast.DefaultOptions()
+	opt.Engine = metablocking.NodeCentric
+	opt.Storage = blast.StorageFile
+	opt.MemoryBudget = 1
+	p, err := blast.NewPipeline(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := p.Serve(context.Background(), testDataset(stats.NewRNG(7), 40),
+		blast.ServerOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	h := NewHandler(srv, Options{})
+	defer h.Close()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, body := getBody(t, ts.Client(), ts.URL+"/statsz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("statsz status %d", resp.StatusCode)
+	}
+	var st StatszResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("statsz body: %v", err)
+	}
+	if st.Storage != blast.StorageFile.String() {
+		t.Fatalf("statsz storage %q, want %q", st.Storage, blast.StorageFile)
 	}
 }

@@ -32,6 +32,15 @@
 //     and every current row must report Match=true — an HTTP front end
 //     whose response bytes diverge from the in-process Server calls it
 //     fronts is a named failure regardless of timing.
+//   - spill: per-corpus-point (profiles) page-cache hit rate must not
+//     shrink more than threshold; every current row must report
+//     Spilled=true and PairsMatch=true — a "spill" row that never left
+//     RAM, or a spilled build whose retained pairs diverge from the
+//     resident build, is a named failure regardless of the numbers; and
+//     the largest corpus point's serving heap must come in at or under
+//     -max-spill-heap (default 0.5) of its resident twin — a spilled
+//     build whose heap tracks the resident one is not actually serving
+//     beyond RAM.
 //   - partition: per-cell (dataset/topology/shards) write throughput
 //     must not shrink more than threshold; every current row must
 //     report PairsMatch=true; and the partitioned topology's per-shard
@@ -62,6 +71,7 @@
 //	go run ./cmd/blastbench -exp recover -scale 0.5 -json > bench/baselines/BENCH_recover.json
 //	go run ./cmd/blastbench -exp load -scale 0.5 -json > bench/baselines/BENCH_load.json
 //	go run ./cmd/blastbench -exp partition -scale 0.5 -json > bench/baselines/BENCH_partition.json
+//	go run ./cmd/blastbench -exp spill -scale 0.5 -json > bench/baselines/BENCH_spill.json
 package main
 
 import (
@@ -84,9 +94,10 @@ func main() {
 	minPrune := flag.Float64("min-prune-speedup", 2.0, "required pruning speedup at the largest worker count vs serial")
 	minProcs := flag.Int("min-scaling-procs", 4, "minimum GOMAXPROCS recorded in the artifact for the scaling and speedup floors to be enforced")
 	maxPartMem := flag.Float64("max-partition-mem", 0.6, "ceiling on partitioned per-shard memory at the largest shard count, as a fraction of the 1-shard row")
+	maxSpillHeap := flag.Float64("max-spill-heap", 0.5, "ceiling on the spilled build's serving heap at the largest corpus point, as a fraction of the resident twin")
 	flag.Parse()
 
-	failures, err := run(os.Stdout, *baseDir, *curDir, *threshold, *minScaling, *minPrune, *maxPartMem, *minProcs)
+	failures, err := run(os.Stdout, *baseDir, *curDir, *threshold, *minScaling, *minPrune, *maxPartMem, *maxSpillHeap, *minProcs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
@@ -190,7 +201,7 @@ type check struct {
 	note     string
 }
 
-func run(w io.Writer, baseDir, curDir string, threshold, minScaling, minPrune, maxPartMem float64, minProcs int) (failures int, err error) {
+func run(w io.Writer, baseDir, curDir string, threshold, minScaling, minPrune, maxPartMem, maxSpillHeap float64, minProcs int) (failures int, err error) {
 	var checks []check
 	add := func(c check) {
 		checks = append(checks, c)
@@ -521,6 +532,68 @@ func run(w io.Writer, baseDir, curDir string, threshold, minScaling, minPrune, m
 		default:
 			add(ceilingCheck(fmt.Sprintf("partition/%s per-shard mem %d vs 1 shard", top.Dataset, top.Shards),
 				maxPartMem, top.MemVs1))
+		}
+	}
+
+	// spill: per-corpus-point cache hit rate vs baseline, the Spilled and
+	// PairsMatch flags, and the serving-heap ceiling at the largest
+	// corpus point over the current run alone — a spilled build whose
+	// heap tracks its resident twin is not serving beyond RAM and fails
+	// by name even when no baseline exists yet.
+	baseSP, err := loadJSON[experiments.SpillRow](baseDir, "BENCH_spill.json")
+	if err != nil {
+		return 0, err
+	}
+	curSP, err := loadJSON[experiments.SpillRow](curDir, "BENCH_spill.json")
+	if err != nil {
+		return 0, err
+	}
+	if baseSP == nil {
+		fmt.Fprintln(w, "spill: no baseline, hit-rate comparison skipped")
+	} else {
+		if curSP == nil {
+			return 0, fmt.Errorf("missing current BENCH_spill.json (baseline exists)")
+		}
+		cur := make(map[int]experiments.SpillRow, len(curSP))
+		for _, r := range curSP {
+			cur[r.Profiles] = r
+		}
+		for _, b := range baseSP {
+			c, found := cur[b.Profiles]
+			if !found {
+				add(check{metric: fmt.Sprintf("spill/profiles=%d hit rate", b.Profiles), baseline: b.CacheHitRate, ok: false, note: "corpus point missing from current run"})
+				continue
+			}
+			add(gated(fmt.Sprintf("spill/profiles=%d hit rate", b.Profiles), b.CacheHitRate, c.CacheHitRate, threshold, false))
+		}
+	}
+	if curSP != nil {
+		var top *experiments.SpillRow
+		for i := range curSP {
+			r := &curSP[i]
+			if !r.Spilled {
+				add(check{
+					metric: fmt.Sprintf("spill/profiles=%d spilled", r.Profiles),
+					ok:     false,
+					note:   "corpus point never exceeded the memory budget",
+				})
+			}
+			if !r.PairsMatch {
+				add(check{
+					metric: fmt.Sprintf("spill/profiles=%d match", r.Profiles),
+					ok:     false,
+					note:   "spilled build diverged from the resident build",
+				})
+			}
+			if top == nil || r.Profiles > top.Profiles {
+				top = r
+			}
+		}
+		if top == nil {
+			fmt.Fprintln(w, "spill: no rows, heap ceiling skipped")
+		} else {
+			add(ceilingCheck(fmt.Sprintf("spill/profiles=%d heap vs resident", top.Profiles),
+				maxSpillHeap, top.HeapVsResident))
 		}
 	}
 

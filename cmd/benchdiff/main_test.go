@@ -52,7 +52,7 @@ func TestGatePassesWithinThreshold(t *testing.T) {
 		serveRow("dbp", "server", 4, 8, 2.5e6, 2.5),
 	})
 	var out strings.Builder
-	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestGateCatchesRegressions(t *testing.T) {
 	writeJSON(t, base, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 4, 8, 2e6, 2.5)})
 	writeJSON(t, cur, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 4, 8, 1e6, 1.2)}) // -50% and scaling < 2
 	var out strings.Builder
-	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestGateScalingFloorSkippedOnSmallHosts(t *testing.T) {
 	writeJSON(t, base, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 4, 1, 1e6, 0.8)})
 	writeJSON(t, cur, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 4, 1, 1e6, 0.8)})
 	var out strings.Builder
-	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestGateMissingFiles(t *testing.T) {
 	base, cur := t.TempDir(), t.TempDir()
 	// No baselines at all: everything skips, gate passes.
 	var out strings.Builder
-	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,13 +118,13 @@ func TestGateMissingFiles(t *testing.T) {
 	}
 	// Baseline present but current missing: hard error.
 	writeJSON(t, base, "BENCH_query.json", []experiments.QueryRow{queryRow("ar1", 100)})
-	if _, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4); err == nil {
+	if _, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4); err == nil {
 		t.Error("missing current artifact must error")
 	}
 	// Dataset present in baseline but dropped from current: regression.
 	writeJSON(t, cur, "BENCH_query.json", []experiments.QueryRow{queryRow("other", 100)})
 	out.Reset()
-	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestGateDegenerateBaseline(t *testing.T) {
 	writeJSON(t, base, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 1, 8, -1, 1)})
 	writeJSON(t, cur, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 1, 8, 1e6, 1)})
 	var out strings.Builder
-	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +198,7 @@ func TestGateDegenerateCurrent(t *testing.T) {
 	writeJSON(t, base, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 4, 8, 1e6, 2.5)})
 	writeJSON(t, cur, "BENCH_serve.json", []experiments.ServeRow{serveRow("dbp", "server", 4, 8, 0, 0)})
 	var out strings.Builder
-	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func TestGatePrune(t *testing.T) {
 		pruneRow("dbp", "blast-wnp", 4, 8, 44*time.Millisecond, 2.5, true),
 	})
 	var out strings.Builder
-	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +240,7 @@ func TestGatePrune(t *testing.T) {
 		pruneRow("dbp", "blast-wnp", 4, 8, 150*time.Millisecond, 1.33, false), // diverged AND below floor
 	})
 	out.Reset()
-	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +260,7 @@ func TestGatePrune(t *testing.T) {
 		pruneRow("dbp", "blast-wnp", 4, 1, 100*time.Millisecond, 0.9, true),
 	})
 	out.Reset()
-	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +276,7 @@ func TestGatePrune(t *testing.T) {
 		pruneRow("dbp", "cep", 4, 1, 100*time.Millisecond, 0.9, true),
 	})
 	out.Reset()
-	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +304,7 @@ func TestGateRecover(t *testing.T) {
 		recoverRow("census", "walreplay", 2, 210*time.Millisecond, true),
 	})
 	var out strings.Builder
-	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +319,7 @@ func TestGateRecover(t *testing.T) {
 		recoverRow("census", "walreplay", 2, 210*time.Millisecond, false), // diverged
 	})
 	out.Reset()
-	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +333,7 @@ func TestGateRecover(t *testing.T) {
 	// The match flag gates even when no baseline exists yet.
 	os.Remove(filepath.Join(base, "BENCH_recover.json"))
 	out.Reset()
-	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,7 +349,7 @@ func TestGateRecover(t *testing.T) {
 		recoverRow("census", "snapshot", 2, 50*time.Millisecond, true),
 	})
 	out.Reset()
-	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +377,7 @@ func TestGateLoad(t *testing.T) {
 		loadRow("census", 4, 8100, 3*time.Millisecond, true),
 	})
 	var out strings.Builder
-	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,7 +392,7 @@ func TestGateLoad(t *testing.T) {
 		loadRow("census", 4, 8000, 9*time.Millisecond, false), // +200% AND diverged
 	})
 	out.Reset()
-	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -406,7 +406,7 @@ func TestGateLoad(t *testing.T) {
 	// The match flag gates even when no baseline exists yet.
 	os.Remove(filepath.Join(base, "BENCH_load.json"))
 	out.Reset()
-	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -422,7 +422,7 @@ func TestGateLoad(t *testing.T) {
 		loadRow("census", 2, 5000, 2*time.Millisecond, true),
 	})
 	out.Reset()
-	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -453,7 +453,7 @@ func TestGatePartition(t *testing.T) {
 		partitionRow("partitioned", 4, 8, 5900, 0.32, true), // ceiling 0.6 holds
 	})
 	var out strings.Builder
-	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -469,7 +469,7 @@ func TestGatePartition(t *testing.T) {
 		partitionRow("partitioned", 4, 8, 6000, 0.95, false), // flat memory AND diverged
 	})
 	out.Reset()
-	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -489,7 +489,7 @@ func TestGatePartition(t *testing.T) {
 		partitionRow("partitioned", 4, 1, 6000, 0.95, false), // diverged; ceiling skipped on 1 CPU
 	})
 	out.Reset()
-	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -508,7 +508,7 @@ func TestGatePartition(t *testing.T) {
 		partitionRow("replicated", 1, 8, 5000, 1, true),
 	})
 	out.Reset()
-	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4)
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -523,7 +523,84 @@ func TestGateMalformedJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if _, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 4); err == nil {
+	if _, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4); err == nil {
 		t.Error("malformed baseline must error")
+	}
+}
+
+func spillRow(profiles int, heapVsResident, hitRate float64, spilled, match bool) experiments.SpillRow {
+	return experiments.SpillRow{Profiles: profiles, GOMAXPROCS: 8, MemoryBudget: 16384,
+		Spilled: spilled, SpillBytes: 1 << 20, HeapVsResident: heapVsResident,
+		CacheHitRate: hitRate, PairsMatch: match}
+}
+
+func TestGateSpill(t *testing.T) {
+	base, cur := t.TempDir(), t.TempDir()
+	writeJSON(t, base, "BENCH_spill.json", []experiments.SpillRow{
+		spillRow(750, 1.1, 0.99, true, true),
+		spillRow(3000, 0.3, 0.99, true, true),
+	})
+	writeJSON(t, cur, "BENCH_spill.json", []experiments.SpillRow{
+		spillRow(750, 1.2, 0.95, true, true),   // hit rate -4% < 25%; heap not gated (not largest)
+		spillRow(3000, 0.35, 0.99, true, true), // ceiling 0.5 holds at the largest point
+	})
+	var out strings.Builder
+	failures, err := run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("failures = %d within threshold\n%s", failures, out.String())
+	}
+
+	// Collapsed hit rate, a never-spilled row, a diverged build and a
+	// flat serving heap at the largest point: four named failures.
+	writeJSON(t, cur, "BENCH_spill.json", []experiments.SpillRow{
+		spillRow(750, 1.2, 0.10, true, false),   // hit rate -90% AND diverged
+		spillRow(3000, 0.95, 0.99, false, true), // never spilled AND flat heap
+	})
+	out.Reset()
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 4 {
+		t.Fatalf("failures = %d, want 4 (hit rate, match, spilled, heap ceiling)\n%s", failures, out.String())
+	}
+	if !strings.Contains(out.String(), "never exceeded the memory budget") {
+		t.Errorf("missing spilled note:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "diverged from the resident build") {
+		t.Errorf("missing divergence note:\n%s", out.String())
+	}
+
+	// The flags and the heap ceiling gate even when no baseline exists.
+	if err := os.Remove(filepath.Join(base, "BENCH_spill.json")); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 3 {
+		t.Fatalf("failures = %d, want 3 without a baseline (match, spilled, heap ceiling)\n%s", failures, out.String())
+	}
+
+	// A baseline corpus point missing from the current run is a
+	// regression.
+	writeJSON(t, base, "BENCH_spill.json", []experiments.SpillRow{
+		spillRow(6000, 0.3, 0.99, true, true),
+	})
+	writeJSON(t, cur, "BENCH_spill.json", []experiments.SpillRow{
+		spillRow(3000, 0.3, 0.99, true, true),
+	})
+	out.Reset()
+	failures, err = run(&out, base, cur, 0.25, 2.0, 2.0, 0.6, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1 for dropped corpus point\n%s", failures, out.String())
 	}
 }

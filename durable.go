@@ -95,6 +95,21 @@ type durManifest struct {
 	// cleanly — and the WAL record format depends on it: replicated logs
 	// hold full batches, partitioned logs hold per-shard owned subsets.
 	Topology string `json:"topology,omitempty"`
+	// Storage records the graph storage mode (Options.Storage) the
+	// directory was created under, with the same empty-means-zero-value
+	// back-compat convention as Topology (empty = memory). Pinning it
+	// keeps a reopen from silently flipping the build's memory/spill
+	// behavior out from under an operator's capacity planning.
+	Storage string `json:"storage,omitempty"`
+}
+
+// manifestStorage renders a Storage for the manifest, mapping the
+// memory zero value onto the field's backward-compatible zero.
+func manifestStorage(s Storage) string {
+	if s == StorageMemory {
+		return ""
+	}
+	return s.String()
 }
 
 // manifestTopology renders a Topology for the manifest, mapping the
@@ -327,10 +342,35 @@ func (p *Pipeline) serveDurable(ctx context.Context, blocks *Blocks, sopt Server
 			return nil, err
 		}
 	}
+	if p.opt.Storage == StorageFile && p.opt.SpillDir == "" {
+		// Spill segments default to living alongside the WAL and the
+		// snapshots: one directory to provision, one filesystem whose
+		// capacity and durability characteristics the operator reasons
+		// about. (They are temporary either way — the build deletes them
+		// once the index materializes.)
+		spill := filepath.Join(dir, "spill")
+		if err := os.MkdirAll(spill, 0o755); err != nil {
+			return nil, err
+		}
+		pp := *p
+		pp.opt.SpillDir = spill
+		p = &pp
+	}
 	master, err := p.indexBlocks(ctx, blocks, true)
 	if err != nil {
 		return nil, err
 	}
+	// A spilled master owns temporary segment files until something
+	// materializes it (replay, snapshot export). If construction fails
+	// before then, delete them; a successful server hands the master to
+	// a shard (or discards it materialized) and clears the flag.
+	masterOwned := true
+	defer func() {
+		if masterOwned {
+			//blast:allow syncerr -- construction is already failing with a primary error; this close only reclaims temporary spill segments and must not mask it
+			master.Close()
+		}
+	}()
 	if err := checkManifest(dir, durManifest{
 		Version:      durManifestVersion,
 		Shards:       n,
@@ -338,6 +378,7 @@ func (p *Pipeline) serveDurable(ctx context.Context, blocks *Blocks, sopt Server
 		SeedProfiles: master.NumProfiles(),
 		SeedBlocks:   collectionFingerprint(blocks.Collection),
 		Topology:     manifestTopology(sopt.Topology),
+		Storage:      manifestStorage(p.opt.Storage),
 	}); err != nil {
 		return nil, err
 	}
@@ -393,6 +434,14 @@ func (p *Pipeline) serveDurable(ctx context.Context, blocks *Blocks, sopt Server
 
 	// Phase 1 — pick each shard's recovery source. Cold fallbacks clone
 	// the master NOW, before any replay mutates it.
+	// Replicated recovery clones the master per shard and replays into
+	// the clones; materialize a spilled build once up front so every
+	// clone starts from resident state (the in-memory path gets this
+	// for free from the snapshot export preceding its clones).
+	if err := master.ensureResident(); err != nil {
+		closeLogs()
+		return nil, err
+	}
 	reps := make([]*Index, n)
 	replayFrom := make([]int, n)
 	epochs := make([]uint64, n)
@@ -424,6 +473,7 @@ func (p *Pipeline) serveDurable(ctx context.Context, blocks *Blocks, sopt Server
 	shOpt := p.shardOptions(sopt)
 	srv := &Server{
 		kind:     master.Kind(),
+		storage:  p.opt.Storage,
 		shards:   make([]*shard.Shard, n),
 		replicas: make([]*Index, n),
 		pers:     make([]*snapPersister, n),
@@ -483,6 +533,9 @@ func (p *Pipeline) serveDurable(ctx context.Context, blocks *Blocks, sopt Server
 		srv.shards[i] = shard.New(i, indexWriter{rep}, snap, shOptI)
 	}
 	srv.dur = &durability{wals: logs}
+	// The master serves as a replica now (unless every shard recovered
+	// from disk, in which case the deferred close reclaims any spill).
+	masterOwned = !masterUsed
 	return srv, nil
 }
 
@@ -559,6 +612,7 @@ func (p *Pipeline) finishDurablePartitioned(ctx context.Context, blocks *Blocks,
 	srv := &Server{
 		kind:     master.Kind(),
 		topology: TopologyPartitioned,
+		storage:  p.opt.Storage,
 		shards:   make([]*shard.Shard, n),
 		parts:    make([]*partIndex, n),
 		pers:     make([]*snapPersister, n),

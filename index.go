@@ -41,6 +41,7 @@ import (
 	"blast/internal/model"
 	"blast/internal/prune"
 	"blast/internal/shard"
+	"blast/internal/store"
 )
 
 var errSupervisedIndex = errors.New("blast: supervised meta-blocking has no candidate-serving index form")
@@ -165,8 +166,22 @@ func (p *Pipeline) indexBlocks(ctx context.Context, blocks *Blocks, keepStats bo
 	}
 	t0 := time.Now()
 	c := blocks.Collection
-	csr, err := graph.BuildCSRParallelCtx(ctx, c, p.opt.Workers)
+	var csr *graph.CSR
+	var err error
+	if sp := p.opt.spillOptions(""); sp != nil {
+		csr, err = graph.BuildCSRSpillCtx(ctx, c, *sp)
+	} else {
+		csr, err = graph.BuildCSRParallelCtx(ctx, c, p.opt.Workers)
+	}
 	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*Index, error) {
+		// A spilled build owns temporary segment files; no Index will
+		// carry them, so delete them on every error exit.
+		if cerr := csr.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
 		return nil, err
 	}
 	p.opt.Scheme.ApplyCSR(csr)
@@ -174,12 +189,19 @@ func (p *Pipeline) indexBlocks(ctx context.Context, blocks *Blocks, keepStats bo
 		csr.ReleaseStats()
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return fail(err)
 	}
 
 	pairs, retained, theta, err := freezeDecisions(ctx, csr, p.opt)
 	if err != nil {
-		return nil, err
+		return fail(err)
+	}
+	if !keepStats {
+		// The pruning dispatch above was the last reader of the per-node
+		// block counts (the CEP/CNP budgets); a query-only index serves
+		// Candidates/Threshold/Pairs without them. The first Insert
+		// re-derives them together with the co-occurrence statistics.
+		csr.ReleaseBlockCounts()
 	}
 
 	ix := &Index{
@@ -212,7 +234,7 @@ func freezeDecisions(ctx context.Context, csr *graph.CSR, opt Options) ([]model.
 	// Mark both entries of every retained edge. The pruning schemes emit
 	// pairs in canonical order — the exact order CanonicalMirrorCtx
 	// visits edges — so a single merge pass resolves pair -> entry.
-	retained := make([]bool, len(csr.Neighbors))
+	retained := make([]bool, csr.NumEntries())
 	next := 0
 	err = csr.CanonicalMirrorCtx(ctx, func(u, v int32, pos, mirror int64) {
 		if next < len(pairs) && pairs[next].U == u && pairs[next].V == v {
@@ -226,6 +248,11 @@ func freezeDecisions(ctx context.Context, csr *graph.CSR, opt Options) ([]model.
 	}
 	theta, err := nodeThresholds(ctx, csr, opt)
 	if err != nil {
+		return nil, nil, nil, err
+	}
+	// Spilled page reads fail closed through the sticky error: reject
+	// the freeze rather than adopting decisions derived from zeroed runs.
+	if err := csr.Err(); err != nil {
 		return nil, nil, nil, err
 	}
 	return pairs, retained, theta, nil
@@ -362,11 +389,13 @@ func (ix *Index) AppendCandidates(buf []Candidate, profile int) []Candidate {
 				buf = append(buf, Candidate{ID: v, Weight: run.Weights[i]})
 			}
 		}
-	} else {
-		lo, hi := ix.csr.Offsets[profile], ix.csr.Offsets[profile+1]
+	} else if lo, hi := ix.csr.Offsets[profile], ix.csr.Offsets[profile+1]; lo < hi {
+		// Through the run accessor, so a spilled index serves out of its
+		// page cache with the same loop.
+		nbr, wts := ix.csr.Run(profile)
 		for p := lo; p < hi; p++ {
 			if ix.retained[p] {
-				buf = append(buf, Candidate{ID: ix.csr.Neighbors[p], Weight: ix.csr.Weights[p]})
+				buf = append(buf, Candidate{ID: nbr[p-lo], Weight: wts[p-lo]})
 			}
 		}
 	}
@@ -454,7 +483,10 @@ func (ix *Index) InsertAll(ctx context.Context, profiles []model.Profile) ([]int
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ix.ensureMutableLocked()
+	if err := ix.ensureMutableLocked(); err != nil {
+		// The index is unchanged: nothing was admitted.
+		return nil, partialInsertError(0, len(profiles), err)
+	}
 
 	// Validate-then-apply: all per-profile input processing (transform,
 	// key function, dedup) runs before the first mutation, so the only
@@ -530,17 +562,23 @@ func (ix *Index) Compact(ctx context.Context) error {
 // released after the cold build so query-only indexes stay at their
 // serving footprint — are re-derived with one graph pass, and the CSR
 // is wrapped in a copy-on-write overlay that takes ownership of the
-// retention mask.
-func (ix *Index) ensureMutableLocked() {
+// retention mask. A non-nil error means the index was left unchanged
+// (it can only arise from reading a spilled graph's weights back).
+func (ix *Index) ensureMutableLocked() error {
 	if ix.ov != nil {
-		return
+		return nil
 	}
-	ix.collection = ix.collection.Clone()
+	collection := ix.collection.Clone()
+	if err := ix.ensureResidentLocked(); err != nil {
+		return err
+	}
+	ix.collection = collection
 	ix.app = blocking.NewAppender(ix.collection)
-	if ix.csr.Common == nil && len(ix.csr.Neighbors) > 0 {
+	if (ix.csr.Common == nil && ix.csr.NumEntries() > 0) || ix.csr.BlockCounts == nil {
 		// The rebuild is structurally byte-identical to the frozen CSR
 		// (same collection, deterministic builder), so the computed
-		// weights carry over entry for entry.
+		// weights carry over entry for entry. It also restores the
+		// per-node block counts a query-only index released.
 		rebuilt, err := graph.BuildCSRParallelCtx(context.Background(), ix.collection, ix.opt.Workers)
 		if err != nil {
 			panic(err) // background context never cancels
@@ -549,6 +587,74 @@ func (ix *Index) ensureMutableLocked() {
 		ix.csr = rebuilt
 	}
 	ix.ov = graph.NewOverlay(ix.csr, ix.retained)
+	return nil
+}
+
+// ensureResidentLocked replaces a spilled CSR with a resident rebuild:
+// the adjacency and statistics are rebuilt from the live collection
+// (structurally byte-identical, the same determinism the mutable
+// rebuild above relies on), the frozen weights are read back from the
+// spill's weight segments, and the segment files are deleted. Mutation
+// and snapshot export — everything beyond pure candidate serving —
+// funnel through here: the overlay and the exported snapshot index
+// resident arrays directly. No-op on a resident index.
+func (ix *Index) ensureResidentLocked() error {
+	old := ix.csr
+	if !old.Spilled() {
+		return nil
+	}
+	weights, err := old.MaterializeWeights()
+	if err != nil {
+		return err
+	}
+	rebuilt, err := graph.BuildCSRParallelCtx(context.Background(), ix.collection, ix.opt.Workers)
+	if err != nil {
+		panic(err) // background context never cancels
+	}
+	rebuilt.Weights = weights
+	ix.csr = rebuilt
+	return old.Close()
+}
+
+// ensureResident is the locked wrapper over ensureResidentLocked, for
+// callers that need a resident index before cloning it (the durable
+// replicated recovery clones the master per shard before any snapshot
+// export would materialize it).
+func (ix *Index) ensureResident() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.ensureResidentLocked()
+}
+
+// Spilled reports whether the index currently serves its adjacency from
+// spilled segment files (Options.Storage = StorageFile and the build
+// exceeded MemoryBudget). A spilled index materializes transparently on
+// the first Insert or snapshot export.
+func (ix *Index) Spilled() bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.csr.Spilled()
+}
+
+// StorageStats reports the residency counters of the index's graph
+// storage: bytes of spill segment data on disk and the page-cache
+// statistics accumulated by candidate serving. Both are zero for a
+// resident index (including a spilled one already materialized by an
+// Insert or a snapshot export).
+func (ix *Index) StorageStats() (spillBytes int64, cache store.CacheStats) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.csr.SpillBytes(), ix.csr.CacheStats()
+}
+
+// Close releases the index's spilled segment files, if any. A resident
+// index needs no Close (it is a no-op there); a spilled one leaks its
+// spill directory until Close, Insert or a snapshot export reclaims it.
+// The index must not be used after Close.
+func (ix *Index) Close() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.csr.Close()
 }
 
 // insertState accumulates, across one InsertAll batch, everything the
@@ -1000,6 +1106,11 @@ func (ix *Index) cloneForServing() *Index {
 	if ix.ov != nil {
 		panic("blast: cloneForServing on an index that has absorbed inserts")
 	}
+	if ix.csr.Spilled() {
+		// Replicas share the master's arrays; a spilled master has none
+		// to share. The server materializes before cloning.
+		panic("blast: cloneForServing on a spilled index")
+	}
 	csr := *ix.csr
 	csr.Weights = slices.Clone(ix.csr.Weights)
 	return &Index{
@@ -1085,6 +1196,11 @@ func (ix *Index) exportSnapshot(ctx context.Context) (*shard.Snapshot, error) {
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	// A snapshot shares the structural arrays with the base CSR; a
+	// spilled index materializes them (and its weights) first.
+	if err := ix.ensureResidentLocked(); err != nil {
+		return nil, err
+	}
 	// Edge-less inserted profiles leave the overlay empty while still
 	// growing the profile count, so staleness is judged on both.
 	if ix.ov != nil && (ix.ov.OverlayEntries() > 0 || ix.ov.NumProfiles() != ix.csr.NumProfiles) {

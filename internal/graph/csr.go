@@ -53,19 +53,69 @@ type CSR struct {
 	TotalBlocks int
 	// TotalComparisons is ||B||, the aggregate cardinality.
 	TotalComparisons int64
+
+	// pages, when non-nil, backs the per-entry arrays with file-backed
+	// node-aligned pages instead of the resident slices above (which are
+	// then nil); see paged.go. Offsets and BlockCounts stay resident in
+	// both modes. All access to Neighbors/Weights must go through the
+	// run accessors (Run, Canonical*, MirrorEntry) so both backings
+	// serve the identical bytes.
+	pages *pagedEntries
+}
+
+// NumEntries returns the number of adjacency entries (2x the edges).
+func (g *CSR) NumEntries() int64 {
+	if n := len(g.Offsets); n > 0 {
+		return g.Offsets[n-1]
+	}
+	return int64(len(g.Neighbors))
 }
 
 // NumEdges returns the number of distinct comparisons the graph entails.
-func (g *CSR) NumEdges() int { return len(g.Neighbors) / 2 }
+func (g *CSR) NumEdges() int { return int(g.NumEntries() / 2) }
 
 // Degree returns |v_i|, the number of edges adjacent to node i.
 func (g *CSR) Degree(i int) int { return int(g.Offsets[i+1] - g.Offsets[i]) }
 
+// Run returns node u's adjacency run: its neighbor ids and, once a
+// weighting scheme has run, the matching per-entry weights (nil
+// before). Entry i of the run sits at global position Offsets[u]+i in
+// the entry arrays. The slices alias the graph's backing store — a
+// resident sub-slice or a cached page — and must not be mutated or
+// retained across other graph operations. This is the one accessor
+// every pruning and serving pass iterates runs through, so the resident
+// and spilled backings serve byte-identical data.
+func (g *CSR) Run(u int) (nbr []int32, wts []float64) {
+	lo, hi := g.Offsets[u], g.Offsets[u+1]
+	if g.pages != nil {
+		return g.pages.run(u, lo, hi)
+	}
+	nbr = g.Neighbors[lo:hi]
+	if g.Weights != nil {
+		wts = g.Weights[lo:hi]
+	}
+	return nbr, wts
+}
+
 // ReleaseStats drops the co-occurrence accumulators, keeping only the
 // adjacency structure and Weights. Call after weighting when the graph
 // will only be pruned: it returns roughly half the per-entry memory to
-// the allocator before the pruning passes run.
-func (g *CSR) ReleaseStats() { g.Common, g.ARCS, g.EntropySum = nil, nil, nil }
+// the allocator before the pruning passes run. On a spilled graph the
+// stat segment files are deleted.
+func (g *CSR) ReleaseStats() {
+	g.Common, g.ARCS, g.EntropySum = nil, nil, nil
+	if g.pages != nil {
+		g.pages.releaseStats()
+	}
+}
+
+// ReleaseBlockCounts drops the per-profile block counts. They are
+// weighting/budget inputs only — every serving read (Candidates,
+// Pairs, thresholds) works without them — so a frozen query-only index
+// releases them after its decisions are final; like the released
+// co-occurrence stats, the first mutation re-derives them with a graph
+// rebuild.
+func (g *CSR) ReleaseBlockCounts() { g.BlockCounts = nil }
 
 // csrCancelCheckEvery is the granularity at which the CSR builders and
 // ctx-aware iterators poll for cancellation: every so many nodes on the
@@ -95,14 +145,15 @@ func (g *CSR) CanonicalCtx(ctx context.Context, fn func(u, v int32, p int64)) er
 				return err
 			}
 		}
-		end := g.Offsets[u+1]
-		for p := g.Offsets[u]; p < end; {
+		base, end := g.Offsets[u], g.Offsets[u+1]
+		nbr, _ := g.Run(u)
+		for p := base; p < end; {
 			seg := end - p
 			if seg > budget {
 				seg = budget
 			}
 			for stop := p + seg; p < stop; p++ {
-				if v := g.Neighbors[p]; int(v) > u {
+				if v := nbr[p-base]; int(v) > u {
 					fn(int32(u), v, p)
 				}
 			}
@@ -138,16 +189,18 @@ func (g *CSR) CanonicalMirror(fn func(u, v int32, p, mp int64)) {
 // because per-node cursors only work when one sweep visits every node
 // in ascending order. The edge must exist.
 func (g *CSR) MirrorEntry(u, v int32) int64 {
-	lo, hi := g.Offsets[v], g.Offsets[v+1]
+	base := g.Offsets[v]
+	nbr, _ := g.Run(int(v))
+	lo, hi := 0, len(nbr)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if g.Neighbors[mid] < u {
+		if nbr[mid] < u {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	return lo
+	return base + int64(lo)
 }
 
 // CanonicalMirrorCtx is CanonicalMirror with cooperative cancellation,
@@ -161,14 +214,15 @@ func (g *CSR) CanonicalMirrorCtx(ctx context.Context, fn func(u, v int32, p, mp 
 				return err
 			}
 		}
-		end := g.Offsets[u+1]
-		for p := g.Offsets[u]; p < end; {
+		base, end := g.Offsets[u], g.Offsets[u+1]
+		nbr, _ := g.Run(u)
+		for p := base; p < end; {
 			seg := end - p
 			if seg > budget {
 				seg = budget
 			}
 			for stop := p + seg; p < stop; p++ {
-				v := g.Neighbors[p]
+				v := nbr[p-base]
 				if int(v) < u {
 					continue // reverse entry; visited from its canonical side
 				}

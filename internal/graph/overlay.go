@@ -101,6 +101,12 @@ type Overlay struct {
 // overlay; the base's per-entry arrays are only written through SetWeight
 // on unpatched runs.
 func NewOverlay(base *CSR, retained []bool) *Overlay {
+	if base.Spilled() {
+		// The overlay's splice/write-through paths index the resident
+		// arrays directly; a spilled base must be materialized first
+		// (the index's mutation path does exactly that).
+		panic("graph: NewOverlay over a spilled CSR")
+	}
 	return &Overlay{
 		base:             base,
 		retained:         retained,

@@ -127,6 +127,10 @@ func inScope(a *Analyzer, pkgPath, filename string) bool {
 		switch {
 		case pkgPath == "blast/internal/wal":
 			return true
+		case pkgPath == "blast/internal/store":
+			// Spill segments: a dropped write/sync error here would let a
+			// paged read later serve bytes that never reached the disk.
+			return true
 		case pkgPath == "blast/internal/shard" && base == "persist.go":
 			return true
 		case pkgPath == "blast" && base == "durable.go":

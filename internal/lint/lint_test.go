@@ -43,6 +43,7 @@ func TestScopeTable(t *testing.T) {
 		{CtxPoll, "blast/internal/graph", "csr.go", true},
 		{CtxPoll, "blast/internal/attr", "profile.go", false},
 		{SyncErr, "blast/internal/wal", "wal.go", true},
+		{SyncErr, "blast/internal/store", "store.go", true},
 		{SyncErr, "blast/internal/shard", "persist.go", true},
 		{SyncErr, "blast/internal/shard", "shard.go", false},
 		{SyncErr, "blast", "durable.go", true},

@@ -142,6 +142,14 @@ type Config struct {
 	// stage's wall-clock duration. It must be fast and must not retain
 	// the run's structures.
 	OnStage func(stage string, d time.Duration)
+	// Spill, when non-nil, selects the beyond-RAM NodeCentric path: the
+	// blocking graph is built through graph.BuildCSRSpillCtx, spilling
+	// its adjacency to segment files under Spill.Dir once the resident
+	// footprint exceeds Spill.MemoryBudget. The retained pairs are
+	// byte-identical to the resident build; the Result carries no CSR
+	// (the spilled graph is closed, its segments deleted). Only the
+	// NodeCentric engine supports spilling.
+	Spill *graph.SpillOptions
 }
 
 // stage reports a completed stage to the OnStage observer, if any.
@@ -286,6 +294,9 @@ func Run(c *blocking.Collection, cfg Config) *Result {
 func RunCtx(ctx context.Context, c *blocking.Collection, cfg Config) (*Result, error) {
 	switch cfg.Engine {
 	case EdgeList:
+		if cfg.Spill != nil {
+			panic("metablocking: Spill requires the NodeCentric engine")
+		}
 		// fall through to the edge-list path below
 	case NodeCentric:
 		return runNodeCentric(ctx, c, cfg)
@@ -343,13 +354,22 @@ func runNodeCentric(ctx context.Context, c *blocking.Collection, cfg Config) (*R
 	t0 := telemetryNow()
 	var g *graph.CSR
 	var err error
-	if workers > 1 {
+	switch {
+	case cfg.Spill != nil:
+		g, err = graph.BuildCSRSpillCtx(ctx, c, *cfg.Spill)
+	case workers > 1:
 		g, err = graph.BuildCSRParallelCtx(ctx, c, workers)
-	} else {
+	default:
 		g, err = graph.BuildCSRCtx(ctx, c)
 	}
 	if err != nil {
 		return nil, err
+	}
+	// A spilled graph is temporary to the run: its segments are deleted
+	// on every exit path, and the Result carries no CSR.
+	spilled := g.Spilled()
+	if spilled {
+		defer g.Close()
 	}
 	t1 := telemetryNow()
 	cfg.stage("graph", t1.Sub(t0))
@@ -364,19 +384,28 @@ func runNodeCentric(ctx context.Context, c *blocking.Collection, cfg Config) (*R
 	if err != nil {
 		return nil, err
 	}
+	// Spilled reads fail closed through the graph's sticky error: a
+	// pruning pass over corrupt or truncated segments produced zeroed
+	// runs, not silent wrong answers — reject the run.
+	if err := g.Err(); err != nil {
+		return nil, err
+	}
 	t3 := telemetryNow()
 	cfg.stage("prune", t3.Sub(t2))
 	if pairs == nil {
 		pairs = make([]model.IDPair, 0)
 	}
-	return &Result{
+	res := &Result{
 		Pairs:      pairs,
-		CSR:        g,
 		Workers:    workers,
 		GraphTime:  t1.Sub(t0),
 		WeightTime: t2.Sub(t1),
 		PruneTime:  t3.Sub(t2),
-	}, nil
+	}
+	if !spilled {
+		res.CSR = g
+	}
+	return res, nil
 }
 
 // RunOnGraph executes weighting and pruning on a prebuilt edge-list

@@ -172,19 +172,27 @@ func runChunks(ctx context.Context, workers, chunks int, fn func(w *pruneWorker,
 
 // forChunkCanonical invokes fn for every canonical (u < v) entry whose
 // smaller endpoint lies in the chunk, in canonical order, polling ctx at
-// edge-segment granularity even inside a single long run.
-func forChunkCanonical(g *graph.CSR, w *pruneWorker, chunk int, fn func(u, v int32, p int64)) error {
+// edge-segment granularity even inside a single long run. Runs are read
+// through the CSR's run accessor — the one seam both the resident and
+// the spilled (paged) backings serve byte-identical data through — and
+// each entry's weight rides along so passes never index a flat weight
+// array that may not be resident.
+func forChunkCanonical(g *graph.CSR, w *pruneWorker, chunk int, fn func(u, v int32, p int64, wt float64)) error {
 	lo, hi := chunkBounds(chunk, g.NumProfiles)
 	for u := lo; u < hi; u++ {
-		end := g.Offsets[u+1]
-		for p := g.Offsets[u]; p < end; {
+		base, end := g.Offsets[u], g.Offsets[u+1]
+		if base == end {
+			continue
+		}
+		nbr, wts := g.Run(u)
+		for p := base; p < end; {
 			seg := end - p
 			if seg > streamCancelCheckEdges {
 				seg = streamCancelCheckEdges
 			}
 			for stop := p + seg; p < stop; p++ {
-				if v := g.Neighbors[p]; int(v) > u {
-					fn(int32(u), v, p)
+				if v := nbr[p-base]; int(v) > u {
+					fn(int32(u), v, p, wts[p-base])
 				}
 			}
 			if err := w.tick(int(seg)); err != nil {
@@ -198,13 +206,13 @@ func forChunkCanonical(g *graph.CSR, w *pruneWorker, chunk int, fn func(u, v int
 // emitChunked runs a chunked retention pass: keep decides each positive-
 // weight canonical edge, per-chunk buffers collect the retained pairs,
 // and the buffers are stitched in chunk order (= canonical order).
-func emitChunked(ctx context.Context, g *graph.CSR, workers int, keep func(u, v int32, p int64) bool) ([]model.IDPair, error) {
+func emitChunked(ctx context.Context, g *graph.CSR, workers int, keep func(u, v int32, p int64, wt float64) bool) ([]model.IDPair, error) {
 	nch := numChunks(g.NumProfiles)
 	bufs := make([][]model.IDPair, nch)
 	err := runChunks(ctx, workers, nch, func(w *pruneWorker, chunk int) error {
 		var out []model.IDPair
-		err := forChunkCanonical(g, w, chunk, func(u, v int32, p int64) {
-			if g.Weights[p] > 0 && keep(u, v, p) {
+		err := forChunkCanonical(g, w, chunk, func(u, v int32, p int64, wt float64) {
+			if wt > 0 && keep(u, v, p, wt) {
 				out = append(out, model.IDPair{U: u, V: v})
 			}
 		})
@@ -252,14 +260,14 @@ func chunkPartialSums(ctx context.Context, g *graph.CSR, workers int) (sums []fl
 	err = runChunks(ctx, workers, nch, func(w *pruneWorker, chunk int) error {
 		s, n := 0.0, int64(0)
 		rowSum, row := 0.0, int32(-1)
-		err := forChunkCanonical(g, w, chunk, func(u, _ int32, p int64) {
+		err := forChunkCanonical(g, w, chunk, func(u, _ int32, _ int64, wt float64) {
 			if u != row {
 				if row >= 0 {
 					s += rowSum
 				}
 				rowSum, row = 0, u
 			}
-			rowSum += g.Weights[p]
+			rowSum += wt
 			n++
 		})
 		if row >= 0 {

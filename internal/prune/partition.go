@@ -63,8 +63,8 @@ func RowWeightSums(ctx context.Context, g *graph.CSR, workers int) (sums []float
 	counts = make([]int64, g.NumProfiles)
 	err = runChunks(ctx, workers, numChunks(g.NumProfiles), func(w *pruneWorker, chunk int) error {
 		// Chunks own disjoint row ranges, so these writes never race.
-		return forChunkCanonical(g, w, chunk, func(u, _ int32, p int64) {
-			sums[u] += g.Weights[p]
+		return forChunkCanonical(g, w, chunk, func(u, _ int32, _ int64, wt float64) {
+			sums[u] += wt
 			counts[u]++
 		})
 	})
@@ -112,8 +112,8 @@ func FoldRowSums(sums []float64, counts []int64) (total float64, edges int64) {
 func RowTieCounts(ctx context.Context, g *graph.CSR, workers int, cut float64) ([]int64, error) {
 	ties := make([]int64, g.NumProfiles)
 	err := runChunks(ctx, workers, numChunks(g.NumProfiles), func(w *pruneWorker, chunk int) error {
-		return forChunkCanonical(g, w, chunk, func(u, _ int32, p int64) {
-			if g.Weights[p] == cut {
+		return forChunkCanonical(g, w, chunk, func(u, _ int32, _ int64, wt float64) {
+			if wt == cut {
 				ties[u]++
 			}
 		})
@@ -143,8 +143,8 @@ func CEPTakenTies(ctx context.Context, g *graph.CSR, workers int, cut float64, r
 	err := runChunks(ctx, workers, nch, func(w *pruneWorker, chunk int) error {
 		tie, row := int64(0), int32(-1)
 		var out []model.IDPair
-		err := forChunkCanonical(g, w, chunk, func(u, v int32, p int64) {
-			if g.Weights[p] != cut {
+		err := forChunkCanonical(g, w, chunk, func(u, v int32, _ int64, wt float64) {
+			if wt != cut {
 				return
 			}
 			if u != row {
@@ -175,21 +175,25 @@ func CEPTakenTies(ctx context.Context, g *graph.CSR, workers int, cut float64, r
 // keep must be a pure function of its arguments and globally merged
 // state, so both owners of an edge decide it identically.
 func MarkOwned(ctx context.Context, g *graph.CSR, workers int, keep func(u, v int32, w float64) bool) (retained []bool, marks int64, err error) {
-	retained = make([]bool, len(g.Neighbors))
+	retained = make([]bool, g.NumEntries())
 	nch := numChunks(g.NumProfiles)
 	perChunk := make([]int64, nch)
 	err = runChunks(ctx, workers, nch, func(w *pruneWorker, chunk int) error {
 		lo, hi := chunkBounds(chunk, g.NumProfiles)
 		n := int64(0)
 		for u := lo; u < hi; u++ {
-			end := g.Offsets[u+1]
-			for p := g.Offsets[u]; p < end; {
+			base, end := g.Offsets[u], g.Offsets[u+1]
+			if base == end {
+				continue
+			}
+			nbr, wts := g.Run(u)
+			for p := base; p < end; {
 				seg := end - p
 				if seg > streamCancelCheckEdges {
 					seg = streamCancelCheckEdges
 				}
 				for stop := p + seg; p < stop; p++ {
-					if wt := g.Weights[p]; wt > 0 && keep(int32(u), g.Neighbors[p], wt) {
+					if wt := wts[p-base]; wt > 0 && keep(int32(u), nbr[p-base], wt) {
 						retained[p] = true
 						n++
 					}
@@ -223,7 +227,7 @@ func RowTopKMarks(ctx context.Context, g *graph.CSR, k, workers int) (offsets []
 	if k <= 0 {
 		k = cnpBudget(g.BlockCounts)
 	}
-	mark := make([]bool, len(g.Neighbors))
+	mark := make([]bool, g.NumEntries())
 	if k > 0 {
 		err := runChunks(ctx, workers, numChunks(g.NumProfiles), func(w *pruneWorker, chunk int) error {
 			lo, hi := chunkBounds(chunk, g.NumProfiles)
@@ -232,6 +236,7 @@ func RowTopKMarks(ctx context.Context, g *graph.CSR, k, workers int) (offsets []
 				if rlo == rhi {
 					continue
 				}
+				_, ws := g.Run(n)
 				order := w.order[:0]
 				for p := rlo; p < rhi; {
 					seg := rhi - p
@@ -247,7 +252,7 @@ func RowTopKMarks(ctx context.Context, g *graph.CSR, k, workers int) (offsets []
 					}
 				}
 				slices.SortStableFunc(order, func(a, b int64) int {
-					switch wa, wb := g.Weights[a], g.Weights[b]; {
+					switch wa, wb := ws[a-rlo], ws[b-rlo]; {
 					case wa > wb:
 						return -1
 					case wa < wb:
@@ -279,15 +284,20 @@ func RowTopKMarks(ctx context.Context, g *graph.CSR, k, workers int) (offsets []
 	}
 	ids = make([]int32, 0, total)
 	for n := 0; n < g.NumProfiles; n++ {
-		end := g.Offsets[n+1]
-		for p := g.Offsets[n]; p < end; {
+		base, end := g.Offsets[n], g.Offsets[n+1]
+		if base == end {
+			offsets[n+1] = int64(len(ids))
+			continue
+		}
+		nbr, _ := g.Run(n)
+		for p := base; p < end; {
 			seg := end - p
 			if seg > streamCancelCheckEdges {
 				seg = streamCancelCheckEdges
 			}
 			for stop := p + seg; p < stop; p++ {
 				if mark[p] {
-					ids = append(ids, g.Neighbors[p])
+					ids = append(ids, nbr[p-base])
 				}
 			}
 			if err := ctx.Err(); err != nil {

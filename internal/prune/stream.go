@@ -43,8 +43,8 @@ func WEPStream(ctx context.Context, g *graph.CSR, workers int) ([]model.IDPair, 
 		return nil, err
 	}
 	theta := combinePartials(sums, counts) / float64(g.NumEdges())
-	return emitChunked(ctx, g, workers, func(_, _ int32, p int64) bool {
-		return g.Weights[p] >= theta
+	return emitChunked(ctx, g, workers, func(_, _ int32, _ int64, wt float64) bool {
+		return wt >= theta
 	})
 }
 
@@ -80,13 +80,13 @@ func CEPStream(ctx context.Context, g *graph.CSR, k, workers int) ([]model.IDPai
 	// per-edge tie ordinal is needed and one emission pass suffices.
 	rem := int64(k - greater)
 	if rem >= int64(ties) {
-		return emitChunked(ctx, g, workers, func(_, _ int32, p int64) bool {
-			return g.Weights[p] >= cut
+		return emitChunked(ctx, g, workers, func(_, _ int32, _ int64, wt float64) bool {
+			return wt >= cut
 		})
 	}
 	if rem <= 0 {
-		return emitChunked(ctx, g, workers, func(_, _ int32, p int64) bool {
-			return g.Weights[p] > cut
+		return emitChunked(ctx, g, workers, func(_, _ int32, _ int64, wt float64) bool {
+			return wt > cut
 		})
 	}
 	// Partial tie budget: count ties per chunk, prefix-sum the counts in
@@ -96,8 +96,8 @@ func CEPStream(ctx context.Context, g *graph.CSR, k, workers int) ([]model.IDPai
 	tiesPerChunk := make([]int64, nch)
 	err = runChunks(ctx, workers, nch, func(w *pruneWorker, chunk int) error {
 		n := int64(0)
-		err := forChunkCanonical(g, w, chunk, func(_, _ int32, p int64) {
-			if g.Weights[p] == cut {
+		err := forChunkCanonical(g, w, chunk, func(_, _ int32, _ int64, wt float64) {
+			if wt == cut {
 				n++
 			}
 		})
@@ -117,8 +117,7 @@ func CEPStream(ctx context.Context, g *graph.CSR, k, workers int) ([]model.IDPai
 	err = runChunks(ctx, workers, nch, func(w *pruneWorker, chunk int) error {
 		tie := tieBase[chunk]
 		var out []model.IDPair
-		err := forChunkCanonical(g, w, chunk, func(u, v int32, p int64) {
-			wt := g.Weights[p]
+		err := forChunkCanonical(g, w, chunk, func(u, v int32, _ int64, wt float64) {
 			take := wt > cut
 			if !take && wt == cut {
 				take = tie < rem
@@ -201,11 +200,11 @@ func nodeThresholdsCSR(ctx context.Context, g *graph.CSR, workers int, reduce ru
 	err := runChunks(ctx, workers, numChunks(g.NumProfiles), func(w *pruneWorker, chunk int) error {
 		lo, hi := chunkBounds(chunk, g.NumProfiles)
 		for n := lo; n < hi; n++ {
-			rlo, rhi := g.Offsets[n], g.Offsets[n+1]
-			if rlo == rhi {
+			if g.Offsets[n] == g.Offsets[n+1] {
 				continue
 			}
-			v, err := reduce(w, g.Weights[rlo:rhi])
+			_, ws := g.Run(n)
+			v, err := reduce(w, ws)
 			if err != nil {
 				return err
 			}
@@ -308,8 +307,8 @@ func BlastWNPStream(ctx context.Context, g *graph.CSR, c, d float64, workers int
 // node-centric schemes: every positive-weight canonical edge is tested
 // against its endpoints' thresholds.
 func emitByThreshold(ctx context.Context, g *graph.CSR, workers int, keep func(w, thU, thV float64) bool, th []float64) ([]model.IDPair, error) {
-	return emitChunked(ctx, g, workers, func(u, v int32, p int64) bool {
-		return keep(g.Weights[p], th[u], th[v])
+	return emitChunked(ctx, g, workers, func(u, v int32, _ int64, wt float64) bool {
+		return keep(wt, th[u], th[v])
 	})
 }
 
@@ -330,7 +329,7 @@ func CNPStream(ctx context.Context, g *graph.CSR, k int, mode Mode, workers int)
 			return nil, ctx.Err()
 		}
 	}
-	mark := make([]bool, len(g.Neighbors))
+	mark := make([]bool, g.NumEntries())
 	err := runChunks(ctx, workers, numChunks(g.NumProfiles), func(w *pruneWorker, chunk int) error {
 		lo, hi := chunkBounds(chunk, g.NumProfiles)
 		for n := lo; n < hi; n++ {
@@ -338,6 +337,7 @@ func CNPStream(ctx context.Context, g *graph.CSR, k int, mode Mode, workers int)
 			if rlo == rhi {
 				continue
 			}
+			_, ws := g.Run(n)
 			order := w.order[:0]
 			for p := rlo; p < rhi; {
 				seg := rhi - p
@@ -353,7 +353,7 @@ func CNPStream(ctx context.Context, g *graph.CSR, k int, mode Mode, workers int)
 				}
 			}
 			slices.SortStableFunc(order, func(a, b int64) int {
-				switch wa, wb := g.Weights[a], g.Weights[b]; {
+				switch wa, wb := ws[a-rlo], ws[b-rlo]; {
 				case wa > wb:
 					return -1
 				case wa < wb:
@@ -375,7 +375,7 @@ func CNPStream(ctx context.Context, g *graph.CSR, k int, mode Mode, workers int)
 	if err != nil {
 		return nil, err
 	}
-	return emitChunked(ctx, g, workers, func(u, v int32, p int64) bool {
+	return emitChunked(ctx, g, workers, func(u, v int32, p int64, _ float64) bool {
 		mp := g.MirrorEntry(u, v)
 		if mode == Reciprocal {
 			return mark[p] && mark[mp]

@@ -1,0 +1,44 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzSegmentDecode feeds arbitrary byte images to the segment-frame
+// scanner: it must never panic, must only ever fail with the named
+// segment errors, and must round-trip payloads it re-encodes bit for
+// bit. This is the decode half of the fail-closed contract the spilled
+// CSR relies on — a mangled segment file yields an error, never
+// plausible adjacency bytes.
+func FuzzSegmentDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	f.Add([]byte("BLSEG00"))
+	f.Add(AppendFrame([]byte(Magic), []byte("hello")))
+	f.Add(AppendFrame(AppendFrame([]byte(Magic), nil), []byte{1, 2, 3}))
+	img := AppendFrame([]byte(Magic), bytes.Repeat([]byte{0xab}, 300))
+	f.Add(img[:len(img)-7])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var payloads [][]byte
+		err := ScanFrames(data, func(p []byte) error {
+			payloads = append(payloads, append([]byte(nil), p...))
+			return nil
+		})
+		if err != nil {
+			if !errors.Is(err, ErrCorruptSegment) && !errors.Is(err, ErrTruncatedSegment) {
+				t.Fatalf("ScanFrames failed with an unnamed error: %v", err)
+			}
+			return
+		}
+		// A clean image must re-encode to the identical bytes.
+		re := []byte(Magic)
+		for _, p := range payloads {
+			re = AppendFrame(re, p)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("re-encoding %d frames produced %d bytes, input was %d", len(payloads), len(re), len(data))
+		}
+	})
+}

@@ -183,8 +183,27 @@ func (s Scheme) Apply(g *graph.Graph) {
 // Each undirected edge is weighted once, from its canonical (u < v)
 // entry, and mirrored into the reverse entry, so per-node passes observe
 // the same value from either endpoint.
+//
+// A spilled graph is weighted through its streaming pass instead: every
+// entry independently, arguments in canonical orientation — the
+// ApplyOwnedCSR argument shows both evaluations are bit-identical. A
+// spilled weighting failure is sticky on the graph (graph.CSR.Err), as
+// all spilled I/O failures are.
 func (s Scheme) ApplyCSR(g *graph.CSR) {
 	w := s.Weigher(g.NumEdges(), g.TotalBlocks)
+	if g.Spilled() {
+		g.WeighSpilled(func(u, v int32, common int32, arcs, entropySum float64) float64 {
+			lo, hi := u, v
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			return w.Weight(common,
+				g.BlockCounts[lo], g.BlockCounts[hi],
+				int32(g.Degree(int(lo))), int32(g.Degree(int(hi))),
+				arcs, entropySum)
+		})
+		return
+	}
 	g.CanonicalMirror(func(u, v int32, p, mp int64) {
 		wt := w.Weight(g.Common[p],
 			g.BlockCounts[u], g.BlockCounts[v],

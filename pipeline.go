@@ -240,6 +240,7 @@ func metaConfigFromOptions(o Options) metablocking.Config {
 		D:       o.D,
 		K:       o.K,
 		Workers: o.Workers,
+		Spill:   o.spillOptions(""),
 	}
 }
 

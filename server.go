@@ -68,6 +68,7 @@ func (w indexWriter) OverlayStats() (int, float64) {
 type Server struct {
 	kind     model.Kind
 	topology Topology
+	storage  Storage
 	shards   []*shard.Shard
 	replicas []*Index         // replicated topology; nil when partitioned
 	parts    []*partIndex     // partitioned topology; nil when replicated
@@ -135,6 +136,7 @@ func (p *Pipeline) ServeBlocks(ctx context.Context, blocks *Blocks, sopt ServerO
 	shOpt := p.shardOptions(sopt)
 	srv := &Server{
 		kind:     master.Kind(),
+		storage:  p.opt.Storage,
 		shards:   make([]*shard.Shard, n),
 		replicas: make([]*Index, n),
 		nextID:   master.NumProfiles(),
@@ -180,6 +182,7 @@ func (p *Pipeline) servePartitioned(ctx context.Context, blocks *Blocks, sopt Se
 	srv := &Server{
 		kind:     master.Kind(),
 		topology: TopologyPartitioned,
+		storage:  p.opt.Storage,
 		shards:   make([]*shard.Shard, n),
 		parts:    make([]*partIndex, n),
 		schema:   blocks.Schema,
@@ -217,6 +220,13 @@ func (s *Server) Kind() model.Kind { return s.kind }
 
 // Topology returns the shard topology the server was started with.
 func (s *Server) Topology() Topology { return s.topology }
+
+// Storage returns the graph storage mode (Options.Storage) the server's
+// index builds run under. Spilled builds are transient — serving state
+// is materialized at publish time — so this reports configuration, not
+// a point-in-time residency; the per-shard ResidentBytes in Stats
+// reports the latter.
+func (s *Server) Storage() Storage { return s.storage }
 
 // Admitted returns the number of profiles the server has accepted:
 // the build's profiles plus every insert admitted so far, whether or
